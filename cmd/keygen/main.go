@@ -1,0 +1,79 @@
+// Command keygen generates a Paillier key pair and optionally a
+// preprocessed store of encrypted index bits (the paper's §3.3 offline
+// phase), writing them to files the other tools consume.
+//
+// Usage:
+//
+//	keygen -bits 512 -out client.key
+//	keygen -bits 512 -out client.key -preprocess 100000
+//
+// The private key file contains the prime factors; protect it accordingly.
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"privstats/internal/paillier"
+)
+
+func main() {
+	bits := flag.Int("bits", 512, "Paillier modulus size in bits (the paper uses 512)")
+	out := flag.String("out", "client.key", "private key output path (public key written to <out>.pub)")
+	preprocess := flag.Int("preprocess", 0, "also time preprocessing this many index-bit encryptions (half 0s, half 1s)")
+	store := flag.String("store", "", "write the preprocessed encryptions to this file for sumclient -store")
+	flag.Parse()
+
+	if err := run(*bits, *out, *preprocess, *store); err != nil {
+		fmt.Fprintln(os.Stderr, "keygen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bits int, out string, preprocess int, storePath string) error {
+	start := time.Now()
+	sk, err := paillier.KeyGen(rand.Reader, bits)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %d-bit Paillier key in %v\n", bits, time.Since(start).Round(time.Millisecond))
+
+	priv, err := sk.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, priv, 0o600); err != nil {
+		return fmt.Errorf("writing private key: %w", err)
+	}
+	pub, err := sk.Public().MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out+".pub", pub, 0o644); err != nil {
+		return fmt.Errorf("writing public key: %w", err)
+	}
+	fmt.Printf("private key: %s\npublic key:  %s.pub\n", out, out)
+
+	if preprocess > 0 {
+		store := paillier.NewBitStore(sk.Public())
+		start = time.Now()
+		if err := store.FillParallel(preprocess/2, preprocess-preprocess/2, 4); err != nil {
+			return fmt.Errorf("preprocessing: %w", err)
+		}
+		d := time.Since(start)
+		fmt.Printf("preprocessed %d bit encryptions in %v (%.0f enc/s)\n",
+			preprocess, d.Round(time.Millisecond), float64(preprocess)/d.Seconds())
+		if storePath != "" {
+			if err := store.SaveFile(storePath); err != nil {
+				return fmt.Errorf("saving preprocessed store: %w", err)
+			}
+			fmt.Printf("preprocessed store: %s (bound to this key)\n", storePath)
+		}
+	} else if storePath != "" {
+		return fmt.Errorf("-store requires -preprocess")
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"privstats/internal/paillier"
+)
+
+func TestRunWritesKeyPair(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "c.key")
+	if err := run(128, out, 4, ""); err != nil {
+		t.Fatal(err)
+	}
+	privRaw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sk paillier.PrivateKey
+	if err := sk.UnmarshalBinary(privRaw); err != nil {
+		t.Fatalf("private key unparseable: %v", err)
+	}
+	pubRaw, err := os.ReadFile(out + ".pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pk paillier.PublicKey
+	if err := pk.UnmarshalBinary(pubRaw); err != nil {
+		t.Fatalf("public key unparseable: %v", err)
+	}
+	if !pk.Equal(sk.Public()) {
+		t.Error("written public key does not match private key")
+	}
+	// The private key file must not be world readable.
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Errorf("private key mode = %v, want 0600", info.Mode().Perm())
+	}
+}
+
+func TestRunRejectsTinyKey(t *testing.T) {
+	if err := run(16, filepath.Join(t.TempDir(), "k"), 0, ""); err == nil {
+		t.Error("16-bit key should fail")
+	}
+}
+
+func TestRunRejectsUnwritablePath(t *testing.T) {
+	if err := run(128, filepath.Join(t.TempDir(), "no-such-dir", "k"), 0, ""); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"privstats/internal/bench"
+)
+
+func tinyConfig() bench.Config {
+	return bench.Config{
+		KeyBits:        128,
+		Sizes:          []int{40},
+		SelectFraction: 0.5,
+		ChunkSize:      8,
+		Clients:        2,
+		Seed:           1,
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	for _, fig := range []string{"2", "4", "9", "chunk", "baseline", "scaling"} {
+		if err := run(tinyConfig(), fig, "", true); err != nil {
+			t.Errorf("fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(tinyConfig(), "42", "", false); err == nil {
+		t.Error("unknown figure should fail")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(tinyConfig(), "2", dir, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig2.csv"))
+	if err != nil {
+		t.Fatalf("expected fig2.csv: %v", err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV")
+	}
+}

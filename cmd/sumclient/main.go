@@ -1,0 +1,152 @@
+// Command sumclient runs the client side of the private selected-sum
+// protocol against a sumserver. It selects rows of the remote table
+// (without revealing which), retrieves their sum, and prints per-phase
+// timings — the same four components the paper's figures report.
+//
+// Usage:
+//
+//	sumclient -server localhost:7001 -n 100000 -select 0.5
+//	sumclient -server localhost:7001 -n 100000 -select 0.5 -chunk 100 -preprocess
+//	sumclient -server localhost:7001 -n 100000 -indices 3,17,99
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"privstats/internal/database"
+	"privstats/internal/homomorphic"
+	"privstats/internal/paillier"
+	"privstats/internal/selectedsum"
+	"privstats/internal/wire"
+)
+
+func main() {
+	server := flag.String("server", "localhost:7001", "sumserver address")
+	n := flag.Int("n", 0, "size of the remote table (the client must know the schema)")
+	selectFrac := flag.Float64("select", 0.5, "fraction of rows to select at random")
+	indices := flag.String("indices", "", "comma-separated explicit row indices (overrides -select)")
+	seed := flag.Int64("seed", 7, "seed for random selection")
+	keyPath := flag.String("key", "", "private key file from keygen (generated fresh when empty)")
+	keyBits := flag.Int("bits", 512, "key size when generating a fresh key")
+	chunk := flag.Int("chunk", 0, "batch the index vector in chunks of this size (0 = single chunk)")
+	preprocess := flag.Bool("preprocess", false, "precompute all index-bit encryptions before connecting (paper §3.3)")
+	storePath := flag.String("store", "", "load preprocessed encryptions from this file (from keygen -store; requires -key)")
+	flag.Parse()
+
+	if *n <= 0 {
+		fmt.Fprintln(os.Stderr, "sumclient: -n (remote table size) is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*server, *n, *selectFrac, *indices, *seed, *keyPath, *keyBits, *chunk, *preprocess, *storePath); err != nil {
+		log.Fatalf("sumclient: %v", err)
+	}
+}
+
+func run(server string, n int, selectFrac float64, indices string, seed int64, keyPath string, keyBits, chunk int, preprocess bool, storePath string) error {
+	sk, rawSK, err := loadKey(keyPath, keyBits)
+	if err != nil {
+		return err
+	}
+
+	sel, err := buildSelection(n, selectFrac, indices, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("selecting %d of %d rows\n", sel.Count(), n)
+
+	var pool homomorphic.EncryptorPool
+	if storePath != "" {
+		store, err := paillier.LoadBitStore(storePath, rawSK.Public())
+		if err != nil {
+			return fmt.Errorf("loading preprocessed store: %w", err)
+		}
+		fmt.Printf("loaded preprocessed store: %d zeros, %d ones\n",
+			store.Remaining(0), store.Remaining(1))
+		pool = paillier.SchemeBitStore{Store: store}
+	} else if preprocess {
+		store := paillier.NewBitStore(rawSK.Public())
+		start := time.Now()
+		ones := sel.Count()
+		if err := store.FillParallel(n-ones, ones, 4); err != nil {
+			return fmt.Errorf("preprocessing: %w", err)
+		}
+		fmt.Printf("offline preprocessing: %v for %d encryptions\n",
+			time.Since(start).Round(time.Millisecond), n)
+		pool = paillier.SchemeBitStore{Store: store}
+	}
+
+	conn, err := net.Dial("tcp", server)
+	if err != nil {
+		return fmt.Errorf("connecting to %s: %w", server, err)
+	}
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+
+	start := time.Now()
+	sum, err := selectedsum.Query(wc, sk, sel, chunk, pool)
+	if err != nil {
+		return err
+	}
+	online := time.Since(start)
+
+	out, in, _, _ := wc.Meter.Snapshot()
+	fmt.Printf("selected sum: %v\n", sum)
+	fmt.Printf("online time:  %v\n", online.Round(time.Millisecond))
+	fmt.Printf("traffic:      %d bytes up, %d bytes down\n", out, in)
+	return nil
+}
+
+func loadKey(path string, bits int) (homomorphic.PrivateKey, *paillier.PrivateKey, error) {
+	if path == "" {
+		start := time.Now()
+		sk, err := paillier.KeyGen(rand.Reader, bits)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Printf("generated %d-bit key in %v (use keygen + -key to reuse one)\n",
+			bits, time.Since(start).Round(time.Millisecond))
+		return paillier.SchemeKey{SK: sk}, sk, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading key: %w", err)
+	}
+	var sk paillier.PrivateKey
+	if err := sk.UnmarshalBinary(data); err != nil {
+		return nil, nil, fmt.Errorf("parsing key: %w", err)
+	}
+	return paillier.SchemeKey{SK: &sk}, &sk, nil
+}
+
+func buildSelection(n int, frac float64, indices string, seed int64) (*database.Selection, error) {
+	if indices != "" {
+		sel, err := database.NewSelection(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, part := range strings.Split(indices, ",") {
+			i, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("bad index %q: %w", part, err)
+			}
+			if i < 0 || i >= n {
+				return nil, fmt.Errorf("index %d outside [0,%d)", i, n)
+			}
+			sel.Set(i)
+		}
+		return sel, nil
+	}
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("selection fraction %v outside (0,1]", frac)
+	}
+	return database.GenerateSelection(n, int(float64(n)*frac), database.PatternRandom, seed)
+}

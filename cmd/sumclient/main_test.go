@@ -1,0 +1,106 @@
+package main
+
+import (
+	"crypto/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"privstats/internal/paillier"
+)
+
+func TestBuildSelectionFromIndices(t *testing.T) {
+	sel, err := buildSelection(10, 0.5, "0, 3,9", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Count() != 3 || sel.Bit(0) != 1 || sel.Bit(3) != 1 || sel.Bit(9) != 1 {
+		t.Errorf("selection bits wrong: count=%d", sel.Count())
+	}
+}
+
+func TestBuildSelectionFromFraction(t *testing.T) {
+	sel, err := buildSelection(100, 0.25, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Count() != 25 {
+		t.Errorf("count = %d, want 25", sel.Count())
+	}
+	// Deterministic per seed.
+	sel2, err := buildSelection(100, 0.25, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if sel.Bit(i) != sel2.Bit(i) {
+			t.Fatal("selection not deterministic")
+		}
+	}
+}
+
+func TestBuildSelectionErrors(t *testing.T) {
+	if _, err := buildSelection(10, 0.5, "abc", 1); err == nil {
+		t.Error("non-numeric index should fail")
+	}
+	if _, err := buildSelection(10, 0.5, "10", 1); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if _, err := buildSelection(10, 0.5, "-1", 1); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, err := buildSelection(10, 0, "", 1); err == nil {
+		t.Error("zero fraction should fail")
+	}
+	if _, err := buildSelection(10, 1.5, "", 1); err == nil {
+		t.Error("fraction > 1 should fail")
+	}
+}
+
+func TestLoadKeyFromFile(t *testing.T) {
+	sk, err := paillier.KeyGen(rand.Reader, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "k.key")
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	hk, rawSK, err := loadKey(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rawSK.N.Cmp(sk.N) != 0 {
+		t.Error("loaded key differs")
+	}
+	if hk == nil {
+		t.Error("nil homomorphic key")
+	}
+}
+
+func TestLoadKeyErrors(t *testing.T) {
+	if _, _, err := loadKey(filepath.Join(t.TempDir(), "missing"), 0); err == nil {
+		t.Error("missing file should fail")
+	}
+	path := filepath.Join(t.TempDir(), "junk.key")
+	if err := os.WriteFile(path, []byte("not a key"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadKey(path, 0); err == nil {
+		t.Error("corrupt key should fail")
+	}
+}
+
+func TestLoadKeyGeneratesFresh(t *testing.T) {
+	hk, rawSK, err := loadKey("", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hk == nil || rawSK == nil || rawSK.N.BitLen() != 128 {
+		t.Errorf("fresh key generation broken")
+	}
+}

@@ -1,0 +1,125 @@
+// Command sumserver runs the database side of the private selected-sum
+// protocol over TCP. It loads (or generates) a table of 32-bit values and
+// answers one session per connection, never learning which rows any client
+// asked about.
+//
+// Usage:
+//
+//	sumserver -listen :7001 -generate 100000
+//	sumserver -listen :7001 -db table.psdb
+//	sumserver -listen :7001 -generate 10000 -throttle modem   # demo a 56Kbps link
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"privstats/internal/database"
+	"privstats/internal/netsim"
+	"privstats/internal/selectedsum"
+	"privstats/internal/wire"
+
+	// Accepted cryptosystems register themselves with the scheme registry.
+	_ "privstats/internal/crypto/dj"
+	_ "privstats/internal/crypto/elgamal"
+	_ "privstats/internal/paillier"
+)
+
+func main() {
+	listen := flag.String("listen", ":7001", "address to listen on")
+	dbPath := flag.String("db", "", "table file to serve (written by -save or the database package)")
+	generate := flag.Int("generate", 0, "generate a synthetic table of this many rows instead of loading one")
+	seed := flag.Int64("seed", 1, "seed for -generate")
+	save := flag.String("save", "", "write the generated table to this path and keep serving")
+	throttle := flag.String("throttle", "", "simulate a link on each connection: 'modem' (56Kbps), 'wireless' (1Mbps), or empty for none")
+	once := flag.Bool("once", false, "serve a single session and exit (used by scripts and tests)")
+	flag.Parse()
+
+	table, err := loadTable(*dbPath, *generate, *seed, *save)
+	if err != nil {
+		log.Fatalf("sumserver: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("sumserver: listen: %v", err)
+	}
+	defer ln.Close()
+	log.Printf("serving %d rows on %s (throttle=%q)", table.Len(), ln.Addr(), *throttle)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("sumserver: accept: %v", err)
+		}
+		handle := func(c net.Conn) {
+			defer c.Close()
+			wc, err := wrapConn(c, *throttle)
+			if err != nil {
+				log.Printf("session setup: %v", err)
+				return
+			}
+			if err := selectedsum.Serve(wc, table); err != nil {
+				log.Printf("session from %s failed: %v", c.RemoteAddr(), err)
+				return
+			}
+			out, in, _, _ := wc.Meter.Snapshot()
+			log.Printf("session from %s complete: %d bytes in, %d bytes out", c.RemoteAddr(), in, out)
+		}
+		if *once {
+			handle(conn)
+			return
+		}
+		go handle(conn)
+	}
+}
+
+func loadTable(dbPath string, generate int, seed int64, save string) (*database.Table, error) {
+	switch {
+	case dbPath != "" && generate > 0:
+		return nil, fmt.Errorf("use either -db or -generate, not both")
+	case dbPath != "":
+		return database.LoadFile(dbPath)
+	case generate > 0:
+		table, err := database.Generate(generate, database.DistUniform, seed)
+		if err != nil {
+			return nil, err
+		}
+		if save != "" {
+			if err := table.SaveFile(save); err != nil {
+				return nil, err
+			}
+			log.Printf("saved generated table to %s", save)
+		}
+		return table, nil
+	default:
+		flag.Usage()
+		os.Exit(2)
+		return nil, nil
+	}
+}
+
+// wrapConn frames the connection, optionally through a bandwidth throttle.
+func wrapConn(c net.Conn, throttle string) (*wire.Conn, error) {
+	switch throttle {
+	case "":
+		return wire.NewConn(c), nil
+	case "modem":
+		th, err := netsim.NewThrottle(c, netsim.LongDistance)
+		if err != nil {
+			return nil, err
+		}
+		return wire.NewConn(th), nil
+	case "wireless":
+		th, err := netsim.NewThrottle(c, netsim.Wireless)
+		if err != nil {
+			return nil, err
+		}
+		return wire.NewConn(th), nil
+	default:
+		return nil, fmt.Errorf("unknown throttle %q (want modem, wireless, or empty)", throttle)
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadTableGenerate(t *testing.T) {
+	table, err := loadTable("", 500, 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() != 500 {
+		t.Errorf("len = %d", table.Len())
+	}
+}
+
+func TestLoadTableGenerateAndSaveThenLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.psdb")
+	gen, err := loadTable("", 200, 9, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadTable(path, 0, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != gen.Len() {
+		t.Fatalf("len %d vs %d", loaded.Len(), gen.Len())
+	}
+	for i := 0; i < gen.Len(); i++ {
+		if loaded.Value(i) != gen.Value(i) {
+			t.Fatal("saved table differs")
+		}
+	}
+}
+
+func TestLoadTableRejectsBothSources(t *testing.T) {
+	if _, err := loadTable("x.psdb", 100, 1, ""); err == nil {
+		t.Error("both -db and -generate should fail")
+	}
+}
+
+func TestWrapConnThrottles(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	for _, mode := range []string{"", "modem", "wireless"} {
+		if _, err := wrapConn(a, mode); err != nil {
+			t.Errorf("mode %q: %v", mode, err)
+		}
+	}
+	if _, err := wrapConn(a, "carrier-pigeon"); err == nil {
+		t.Error("unknown throttle should fail")
+	}
+}

@@ -1,0 +1,3 @@
+module privstats
+
+go 1.22

@@ -1,0 +1,96 @@
+// Package baseline implements the two trivial, non-private protocols the
+// paper describes in Section 2 to motivate the problem, plus the exact
+// accounting needed to place them on the benchmark charts next to the
+// private protocol.
+//
+// Neither baseline is private:
+//
+//   - SendIndices reveals the client's selection to the server (no client
+//     privacy);
+//   - DownloadDatabase reveals the whole database to the client (no
+//     database privacy).
+//
+// They exist so the evaluation can report what privacy costs: the private
+// protocol's overhead is measured against these.
+package baseline
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"privstats/internal/database"
+	"privstats/internal/netsim"
+)
+
+// Result mirrors selectedsum.Result for the trivial protocols.
+type Result struct {
+	// Sum is the computed selected sum.
+	Sum *big.Int
+	// Compute is the measured local computation time (all parties).
+	Compute time.Duration
+	// Communication is the link-model time for the exchanged bytes.
+	Communication time.Duration
+	// Total is Compute + Communication.
+	Total time.Duration
+	// BytesUp and BytesDown are the exact application byte counts.
+	BytesUp, BytesDown int64
+}
+
+// SendIndices runs the "client sends its m indices, server sums" protocol.
+// Wire cost: 4 bytes per selected index up, 8 bytes of sum down (values are
+// 32-bit, so any selected sum fits 64 bits for n < 2^32).
+func SendIndices(table *database.Table, sel *database.Selection, link netsim.Link) (*Result, error) {
+	if err := link.Validate(); err != nil {
+		return nil, err
+	}
+	if sel.Len() != table.Len() {
+		return nil, fmt.Errorf("baseline: selection length %d != table length %d", sel.Len(), table.Len())
+	}
+	start := time.Now()
+	indices := sel.Indices()
+	var sum uint64
+	for _, i := range indices {
+		sum += uint64(table.Value(i))
+	}
+	compute := time.Since(start)
+
+	res := &Result{
+		Sum:       new(big.Int).SetUint64(sum),
+		Compute:   compute,
+		BytesUp:   int64(4 * len(indices)),
+		BytesDown: 8,
+	}
+	res.Communication = link.RoundTripTime(res.BytesUp, res.BytesDown)
+	res.Total = res.Compute + res.Communication
+	return res, nil
+}
+
+// DownloadDatabase runs the "server ships everything, client sums locally"
+// protocol. Wire cost: a tiny request up, 4 bytes per row down.
+func DownloadDatabase(table *database.Table, sel *database.Selection, link netsim.Link) (*Result, error) {
+	if err := link.Validate(); err != nil {
+		return nil, err
+	}
+	if sel.Len() != table.Len() {
+		return nil, fmt.Errorf("baseline: selection length %d != table length %d", sel.Len(), table.Len())
+	}
+	start := time.Now()
+	var sum uint64
+	for i := 0; i < table.Len(); i++ {
+		if sel.Bit(i) == 1 {
+			sum += uint64(table.Value(i))
+		}
+	}
+	compute := time.Since(start)
+
+	res := &Result{
+		Sum:       new(big.Int).SetUint64(sum),
+		Compute:   compute,
+		BytesUp:   16, // request header
+		BytesDown: int64(4 * table.Len()),
+	}
+	res.Communication = link.RoundTripTime(res.BytesUp, res.BytesDown)
+	res.Total = res.Compute + res.Communication
+	return res, nil
+}

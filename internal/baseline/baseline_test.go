@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"testing"
+
+	"privstats/internal/database"
+	"privstats/internal/netsim"
+)
+
+func fixture(t *testing.T, n, m int) (*database.Table, *database.Selection, uint64) {
+	t.Helper()
+	table, err := database.Generate(n, database.DistSmall, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := database.GenerateSelection(n, m, database.PatternRandom, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := table.SelectedSum(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table, sel, want.Uint64()
+}
+
+func TestSendIndicesCorrectness(t *testing.T) {
+	table, sel, want := fixture(t, 500, 123)
+	res, err := SendIndices(table, sel, netsim.ShortDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum.Uint64() != want {
+		t.Errorf("sum = %v, want %d", res.Sum, want)
+	}
+	if res.BytesUp != 4*123 || res.BytesDown != 8 {
+		t.Errorf("bytes = (%d, %d)", res.BytesUp, res.BytesDown)
+	}
+	if res.Total != res.Compute+res.Communication {
+		t.Error("Total != Compute + Communication")
+	}
+}
+
+func TestDownloadDatabaseCorrectness(t *testing.T) {
+	table, sel, want := fixture(t, 500, 123)
+	res, err := DownloadDatabase(table, sel, netsim.ShortDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum.Uint64() != want {
+		t.Errorf("sum = %v, want %d", res.Sum, want)
+	}
+	if res.BytesDown != 4*500 {
+		t.Errorf("BytesDown = %d, want 2000", res.BytesDown)
+	}
+}
+
+func TestBaselinesAgree(t *testing.T) {
+	table, sel, _ := fixture(t, 777, 400)
+	a, err := SendIndices(table, sel, netsim.LongDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DownloadDatabase(table, sel, netsim.LongDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sum.Cmp(b.Sum) != 0 {
+		t.Errorf("baselines disagree: %v vs %v", a.Sum, b.Sum)
+	}
+}
+
+func TestBaselineValidation(t *testing.T) {
+	table, _ := database.Generate(10, database.DistSmall, 1)
+	sel, _ := database.NewSelection(9)
+	if _, err := SendIndices(table, sel, netsim.ShortDistance); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := DownloadDatabase(table, sel, netsim.ShortDistance); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	sel10, _ := database.NewSelection(10)
+	if _, err := SendIndices(table, sel10, netsim.Link{}); err == nil {
+		t.Error("bad link should fail")
+	}
+	if _, err := DownloadDatabase(table, sel10, netsim.Link{}); err == nil {
+		t.Error("bad link should fail")
+	}
+}
+
+func TestEmptySelection(t *testing.T) {
+	table, _ := database.Generate(10, database.DistUniform, 1)
+	sel, _ := database.NewSelection(10)
+	res, err := SendIndices(table, sel, netsim.ShortDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum.Sign() != 0 || res.BytesUp != 0 {
+		t.Errorf("empty selection: sum=%v bytes=%d", res.Sum, res.BytesUp)
+	}
+}

@@ -1,0 +1,384 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"privstats/internal/netsim"
+)
+
+// testConfig keeps the in-test experiments small and fast: tiny keys, tiny
+// sweep. Correctness of every run is still verified against the cleartext
+// oracle inside the harness itself.
+func testConfig() Config {
+	return Config{
+		KeyBits:        128,
+		Sizes:          []int{50, 120},
+		SelectFraction: 0.5,
+		ChunkSize:      16,
+		Clients:        3,
+		Seed:           1,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{KeyBits: 16, Sizes: []int{10}, SelectFraction: 0.5, ChunkSize: 1, Clients: 1},
+		{KeyBits: 128, Sizes: nil, SelectFraction: 0.5, ChunkSize: 1, Clients: 1},
+		{KeyBits: 128, Sizes: []int{0}, SelectFraction: 0.5, ChunkSize: 1, Clients: 1},
+		{KeyBits: 128, Sizes: []int{10}, SelectFraction: 0, ChunkSize: 1, Clients: 1},
+		{KeyBits: 128, Sizes: []int{10}, SelectFraction: 1.5, ChunkSize: 1, Clients: 1},
+		{KeyBits: 128, Sizes: []int{10}, SelectFraction: 0.5, ChunkSize: 0, Clients: 1},
+		{KeyBits: 128, Sizes: []int{10}, SelectFraction: 0.5, ChunkSize: 1, Clients: 0},
+	}
+	for i, c := range bad {
+		if err := c.validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+	if err := testConfig().validate(); err != nil {
+		t.Errorf("test config invalid: %v", err)
+	}
+	if err := DefaultConfig().validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	rows, err := testConfig().Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's headline: client encryption dominates on a LAN.
+		if r.ClientEncrypt <= r.Communication {
+			t.Errorf("n=%d: encrypt %v should dominate comm %v on LAN", r.N, r.ClientEncrypt, r.Communication)
+		}
+		if r.ClientEncrypt <= r.ClientDecrypt {
+			t.Errorf("n=%d: encrypt %v should dwarf decrypt %v", r.N, r.ClientEncrypt, r.ClientDecrypt)
+		}
+		if r.Total != r.ClientEncrypt+r.ServerCompute+r.Communication+r.ClientDecrypt {
+			t.Errorf("n=%d: total is not the component sum for the sequential protocol", r.N)
+		}
+	}
+	// Linearity: doubling n should scale client time roughly linearly
+	// (very loose bounds; timing noise on small inputs is large).
+	ratio := float64(rows[1].ClientEncrypt) / float64(rows[0].ClientEncrypt)
+	sizeRatio := float64(rows[1].N) / float64(rows[0].N)
+	if ratio < sizeRatio/4 || ratio > sizeRatio*4 {
+		t.Errorf("client encrypt scaling %.2f far from size ratio %.2f", ratio, sizeRatio)
+	}
+}
+
+func TestFig3ModemCommDominatesLANComm(t *testing.T) {
+	cfg := testConfig()
+	lan, err := cfg.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modem, err := cfg.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lan {
+		if modem[i].Communication <= lan[i].Communication*100 {
+			t.Errorf("n=%d: modem comm %v should be orders of magnitude above LAN %v",
+				lan[i].N, modem[i].Communication, lan[i].Communication)
+		}
+	}
+}
+
+func TestFig4BatchingReducesTotal(t *testing.T) {
+	// Strict "batched ≤ unbatched" holds at benchmark scale; test-size
+	// runs last single-digit milliseconds where scheduler noise can flip
+	// the ordering, so retry and require the shape to appear at least
+	// once. Correctness of every run is checked inside the harness.
+	const attempts = 3
+	var lastBase, lastVar string
+	for a := 0; a < attempts; a++ {
+		rows, err := testConfig().Fig4()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := true
+		for _, r := range rows {
+			if r.Variant > r.Baseline {
+				ok = false
+				lastBase, lastVar = r.Baseline.String(), r.Variant.String()
+			}
+		}
+		if ok {
+			return
+		}
+	}
+	t.Errorf("batching never beat the plain run in %d attempts (last: batched %s vs plain %s)",
+		attempts, lastVar, lastBase)
+}
+
+func TestFig5PreprocessingShiftsBottleneck(t *testing.T) {
+	rows, err := testConfig().Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// After preprocessing the client's online time collapses; the
+		// server becomes the dominant compute component (paper §3.3).
+		if r.ServerCompute <= r.ClientEncrypt {
+			t.Errorf("n=%d: server %v should dominate preprocessed client %v", r.N, r.ServerCompute, r.ClientEncrypt)
+		}
+		if r.Preprocess <= 0 {
+			t.Errorf("n=%d: preprocessing time unrecorded", r.N)
+		}
+	}
+}
+
+func TestFig6ModemCommDominates(t *testing.T) {
+	rows, err := testConfig().Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Paper §3.3 / Figure 6: over the modem, communication dominates
+		// once encryption is preprocessed.
+		if r.Communication <= r.ClientEncrypt+r.ServerCompute+r.ClientDecrypt {
+			t.Errorf("n=%d: modem comm %v should dominate compute %v", r.N,
+				r.Communication, r.ClientEncrypt+r.ServerCompute+r.ClientDecrypt)
+		}
+	}
+}
+
+func TestFig7CombinedBeatsPlainSubstantially(t *testing.T) {
+	// At the paper's 512-bit keys the reduction is ~90% (client encryption
+	// dominates 16:1). Test keys are 128-bit and runs last milliseconds,
+	// so a GC pause can wreck any single measurement — retry a few times
+	// and require the shape to appear at least once. The benchmarks check
+	// the full-strength claim.
+	const attempts = 3
+	var last float64
+	for a := 0; a < attempts; a++ {
+		rows, err := testConfig().Fig7()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := true
+		for _, r := range rows {
+			last = r.Reduction()
+			if last < 0.25 {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+	}
+	t.Errorf("combined optimizations never reduced >= 25%% across %d attempts (last %.0f%%)",
+		attempts, 100*last)
+}
+
+func TestFig9MultiClientSpeedup(t *testing.T) {
+	rows, err := testConfig().Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ~k-fold speedup claim is validated at benchmark scale
+	// (BenchmarkFig9_MultiClient with 512-bit keys and n >= 1000, where it
+	// measures ≈2.8-2.9x for k=3). At test sizes the per-client fixed
+	// costs (finalize, decrypt, hello) rival the shard work and a GC pause
+	// flips any single measurement — especially on single-CPU hosts — so
+	// only the largest sweep point is checked, with a retry, and only
+	// against outright collapse. The harness has already verified every
+	// run's sum against the oracle.
+	check := func(rows []ComparisonRow) bool {
+		return rows[len(rows)-1].Speedup() >= 0.5
+	}
+	if check(rows) {
+		return
+	}
+	for a := 0; a < 2; a++ {
+		rows, err = testConfig().Fig9()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if check(rows) {
+			return
+		}
+	}
+	t.Errorf("k=3 multi-client consistently slower than half the single client: %.2fx",
+		rows[len(rows)-1].Speedup())
+}
+
+func TestBaselinesOrdersOfMagnitudeCheaper(t *testing.T) {
+	rows, err := testConfig().Baselines(netsim.ShortDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SendIdx >= r.Private || r.Download >= r.Private {
+			t.Errorf("n=%d: non-private baselines (%v, %v) should be far below private %v",
+				r.N, r.SendIdx, r.Download, r.Private)
+		}
+		if r.PrivateBytes <= r.SendIdxBytes {
+			t.Errorf("n=%d: private traffic %d should exceed index traffic %d", r.N, r.PrivateBytes, r.SendIdxBytes)
+		}
+	}
+}
+
+func TestYaoComparisonGap(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sizes = []int{200}
+	rows, err := cfg.YaoComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.YaoEstimate <= r.Private {
+		t.Errorf("Yao estimate %v should exceed the private protocol %v", r.YaoEstimate, r.Private)
+	}
+	if r.YaoGates < int64(200*32) {
+		t.Errorf("gate count %d implausibly small", r.YaoGates)
+	}
+}
+
+func TestSchemeAblationAgrees(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sizes = []int{60}
+	rows, err := cfg.SchemeAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d schemes", len(rows))
+	}
+	names := make([]string, len(rows))
+	for i, r := range rows {
+		names[i] = r.Variant
+		if r.Client <= 0 || r.Bytes <= 0 {
+			t.Errorf("%s: degenerate row %+v", r.Variant, r)
+		}
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"paillier", "damgard-jurik", "elgamal"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing scheme %q in %q", want, joined)
+		}
+	}
+}
+
+func TestDecryptComparison(t *testing.T) {
+	// CRT beats the textbook path only once bignum arithmetic, not
+	// per-operation overhead, dominates — use a realistic key size here.
+	cfg := testConfig()
+	cfg.KeyBits = 512
+	// Warm caches/allocator so the measured pass reflects steady state.
+	if _, err := cfg.DecryptComparison(10); err != nil {
+		t.Fatal(err)
+	}
+	d, err := cfg.DecryptComparison(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CRT <= 0 || d.Naive <= 0 {
+		t.Fatalf("degenerate ablation %+v", d)
+	}
+	// Steady state is ~5x; allow wide noise margins under parallel tests.
+	if float64(d.CRT) > 1.2*float64(d.Naive) {
+		t.Errorf("CRT %v slower than naive %v at 512-bit keys", d.CRT, d.Naive)
+	}
+	if _, err := cfg.DecryptComparison(0); err == nil {
+		t.Error("zero iterations should fail")
+	}
+}
+
+func TestChunkSweep(t *testing.T) {
+	cfg := testConfig()
+	rows, err := cfg.ChunkSweep([]int{5, 25, 120}, netsim.ShortDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Chunks != 24 || rows[2].Chunks != 1 {
+		t.Errorf("chunk counts = %d, %d", rows[0].Chunks, rows[2].Chunks)
+	}
+	if _, err := cfg.ChunkSweep([]int{0}, netsim.ShortDistance); err == nil {
+		t.Error("zero chunk size should fail")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	comp := []ComponentRow{{
+		N: 1000, ClientEncrypt: 2 * time.Second, ServerCompute: time.Second,
+		Communication: 100 * time.Millisecond, ClientDecrypt: time.Millisecond,
+		Total: 3101 * time.Millisecond, BytesUp: 128000, BytesDown: 133,
+	}}
+	var buf bytes.Buffer
+	if err := WriteComponentTable(&buf, "Figure 2", comp); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 2", "1000", "client encrypt", "2s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("component table missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	cmp := []ComparisonRow{{N: 1000, Baseline: 10 * time.Second, Variant: time.Second}}
+	if err := WriteComparisonTable(&buf, "Figure 7", "plain", "combined", cmp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "90.0%") || !strings.Contains(buf.String(), "10.00x") {
+		t.Errorf("comparison table:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := ComponentCSV(&buf, comp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "n,client_encrypt_ms") || !strings.Contains(buf.String(), "1000,2000.000") {
+		t.Errorf("CSV:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := ComparisonCSV(&buf, cmp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.9000") {
+		t.Errorf("comparison CSV:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteYaoTable(&buf, []YaoRow{{N: 5, Private: time.Second, YaoEstimate: time.Minute, YaoEra: time.Hour, YaoGates: 99, YaoWireBytes: 1 << 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3600x") {
+		t.Errorf("yao table:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteDecryptTable(&buf, &DecryptAblation{KeyBits: 512, CRT: time.Second, Naive: 3 * time.Second, Iterations: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3.00x") {
+		t.Errorf("decrypt table:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteAblationTable(&buf, 60, []AblationRow{{Variant: "paillier-128", Client: time.Second, Server: time.Second, Decrypt: time.Millisecond, Bytes: 42}}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteChunkTable(&buf, 60, "short", []ChunkRow{{ChunkSize: 5, Chunks: 12, Total: time.Second}}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteBaselineTable(&buf, "short", []BaselineRow{{N: 10, Private: time.Second, SendIdx: time.Millisecond, Download: time.Millisecond}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// ASCII rendering of the figures: the paper plots stacked component bars
+// per database size; psbench -chart reproduces that visually in the
+// terminal, one bar row per sweep point, scaled to the widest total.
+
+// chartWidth is the bar area width in characters.
+const chartWidth = 60
+
+// componentGlyphs maps each runtime component to its bar glyph.
+var componentGlyphs = []struct {
+	name  string
+	glyph rune
+	pick  func(ComponentRow) time.Duration
+}{
+	{"client encrypt", '#', func(r ComponentRow) time.Duration { return r.ClientEncrypt }},
+	{"server compute", '=', func(r ComponentRow) time.Duration { return r.ServerCompute }},
+	{"communication", '~', func(r ComponentRow) time.Duration { return r.Communication }},
+	{"client decrypt", '.', func(r ComponentRow) time.Duration { return r.ClientDecrypt }},
+}
+
+// WriteComponentChart renders component rows as horizontal stacked bars.
+func WriteComponentChart(w io.Writer, title string, rows []ComponentRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	var max time.Duration
+	for _, r := range rows {
+		if r.Total > max {
+			max = r.Total
+		}
+	}
+	if max <= 0 {
+		max = time.Nanosecond
+	}
+	for _, r := range rows {
+		var bar strings.Builder
+		for _, c := range componentGlyphs {
+			segment := int(float64(c.pick(r)) / float64(max) * chartWidth)
+			bar.WriteString(strings.Repeat(string(c.glyph), segment))
+		}
+		fmt.Fprintf(w, "%8d |%-*s| %s\n", r.N, chartWidth, bar.String(), fmtDur(r.Total))
+	}
+	fmt.Fprint(w, "legend: ")
+	parts := make([]string, len(componentGlyphs))
+	for i, c := range componentGlyphs {
+		parts[i] = fmt.Sprintf("%c %s", c.glyph, c.name)
+	}
+	_, err := fmt.Fprintf(w, "%s\n\n", strings.Join(parts, "   "))
+	return err
+}
+
+// WriteComparisonChart renders a comparison figure as paired bars.
+func WriteComparisonChart(w io.Writer, title, baseName, varName string, rows []ComparisonRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	var max time.Duration
+	for _, r := range rows {
+		if r.Baseline > max {
+			max = r.Baseline
+		}
+		if r.Variant > max {
+			max = r.Variant
+		}
+	}
+	if max <= 0 {
+		max = time.Nanosecond
+	}
+	scale := func(d time.Duration) string {
+		n := int(float64(d) / float64(max) * chartWidth)
+		return strings.Repeat("#", n)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d a |%-*s| %s\n", r.N, chartWidth, scale(r.Baseline), fmtDur(r.Baseline))
+		fmt.Fprintf(w, "%8s b |%-*s| %s\n", "", chartWidth, scale(r.Variant), fmtDur(r.Variant))
+	}
+	_, err := fmt.Fprintf(w, "a = %s   b = %s\n\n", baseName, varName)
+	return err
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestComponentChart(t *testing.T) {
+	rows := []ComponentRow{
+		{N: 1000, ClientEncrypt: 8 * time.Second, ServerCompute: time.Second,
+			Communication: 500 * time.Millisecond, ClientDecrypt: time.Millisecond,
+			Total: 9501 * time.Millisecond},
+		{N: 2000, ClientEncrypt: 16 * time.Second, ServerCompute: 2 * time.Second,
+			Communication: time.Second, ClientDecrypt: time.Millisecond,
+			Total: 19001 * time.Millisecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteComponentChart(&buf, "Figure 2 (chart)", rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 2 (chart)", "1000", "2000", "legend:", "client encrypt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The larger row's bar must be longer.
+	lines := strings.Split(out, "\n")
+	var small, large int
+	for _, l := range lines {
+		if strings.Contains(l, "1000 |") {
+			small = strings.Count(l, "#")
+		}
+		if strings.Contains(l, "2000 |") {
+			large = strings.Count(l, "#")
+		}
+	}
+	if large <= small {
+		t.Errorf("bar lengths: n=1000 has %d, n=2000 has %d", small, large)
+	}
+}
+
+func TestComponentChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteComponentChart(&buf, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("empty rows should render nothing")
+	}
+}
+
+func TestComparisonChart(t *testing.T) {
+	rows := []ComparisonRow{{N: 5000, Baseline: 10 * time.Second, Variant: time.Second}}
+	var buf bytes.Buffer
+	if err := WriteComparisonChart(&buf, "Figure 7 (chart)", "plain", "combined", rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a = plain") || !strings.Contains(out, "b = combined") {
+		t.Errorf("chart legend missing:\n%s", out)
+	}
+	// Baseline bar ~10x the variant bar.
+	lines := strings.Split(out, "\n")
+	var aLen, bLen int
+	for _, l := range lines {
+		if strings.Contains(l, " a |") {
+			aLen = strings.Count(l, "#")
+		}
+		if strings.Contains(l, " b |") {
+			bLen = strings.Count(l, "#")
+		}
+	}
+	if aLen < 5*bLen {
+		t.Errorf("bars a=%d b=%d, want ~10x ratio", aLen, bLen)
+	}
+}
+
+func TestComparisonChartZeroDurations(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []ComparisonRow{{N: 1, Baseline: 0, Variant: 0}}
+	if err := WriteComparisonChart(&buf, "degenerate", "a", "b", rows); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package dj
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// Per-operation costs across the expansion parameter s: the arithmetic
+// lives in Z_{n^(s+1)}, so costs grow superlinearly in s while the
+// plaintext capacity grows linearly — the trade the E9 ablation quantifies.
+
+func benchKey(b *testing.B, s int) *PrivateKey {
+	b.Helper()
+	sk, err := KeyGen(rand.Reader, 512, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sk
+}
+
+func BenchmarkEncryptS1(b *testing.B) { benchEncrypt(b, 1) }
+func BenchmarkEncryptS2(b *testing.B) { benchEncrypt(b, 2) }
+func BenchmarkEncryptS3(b *testing.B) { benchEncrypt(b, 3) }
+
+func benchEncrypt(b *testing.B, s int) {
+	sk := benchKey(b, s)
+	m := big.NewInt(123456789)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Public().Encrypt(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecryptS1(b *testing.B) { benchDecrypt(b, 1) }
+func BenchmarkDecryptS2(b *testing.B) { benchDecrypt(b, 2) }
+
+func benchDecrypt(b *testing.B, s int) {
+	sk := benchKey(b, s)
+	ct, err := sk.Public().Encrypt(big.NewInt(987654321))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScalarMul32BitS2(b *testing.B) {
+	sk := benchKey(b, 2)
+	pk := sk.Public()
+	ct, err := pk.Encrypt(big.NewInt(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := big.NewInt(0xDEADBEEF)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.ScalarMul(ct, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package dj implements the Damgård–Jurik generalization of the Paillier
+// cryptosystem (Damgård & Jurik, PKC 2001): ciphertexts live in Z*_{n^(s+1)}
+// and the plaintext space is Z_{n^s} for a chosen s ≥ 1. s = 1 is exactly
+// Paillier.
+//
+// In this repository the scheme serves the design-space ablation
+// (experiment E9 family in DESIGN.md): a larger plaintext space per
+// ciphertext changes the bytes-per-plaintext-bit ratio of the selected-sum
+// protocol, at the cost of arithmetic over a larger ring. It implements the
+// same homomorphic.PublicKey/PrivateKey interfaces as Paillier, so the
+// whole protocol stack runs unchanged on top of it.
+package dj
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"privstats/internal/homomorphic"
+	"privstats/internal/mathx"
+)
+
+// SchemeID is the registry name of this cryptosystem ("dj<s>" is announced
+// per key; the registry entry covers the family).
+const SchemeID = "damgard-jurik"
+
+// MaxS bounds the ciphertext expansion; beyond a handful of levels the
+// arithmetic cost grows cubically and nothing in this repository needs it.
+const MaxS = 8
+
+func init() {
+	homomorphic.Register(SchemeID, func(keyBytes []byte) (homomorphic.PublicKey, error) {
+		pk, err := ParsePublicKey(keyBytes)
+		if err != nil {
+			return nil, err
+		}
+		return pk, nil
+	})
+}
+
+// PublicKey holds n and the precomputed powers n^1..n^(s+1).
+type PublicKey struct {
+	N *big.Int
+	S int
+
+	// npow[i] = N^(i+1); npow[S] is the ciphertext modulus n^(s+1) and
+	// npow[S-1] is the plaintext modulus n^s.
+	npow    []*big.Int
+	byteLen int
+}
+
+// PrivateKey adds the factorization and λ.
+type PrivateKey struct {
+	PublicKey
+	P, Q   *big.Int
+	Lambda *big.Int
+	// lambdaInv = λ^-1 mod n^s.
+	lambdaInv *big.Int
+}
+
+// KeyGen generates a key with a modulus of modulusBits bits and expansion
+// parameter s.
+func KeyGen(r io.Reader, modulusBits, s int) (*PrivateKey, error) {
+	if s < 1 || s > MaxS {
+		return nil, fmt.Errorf("dj: s must be in [1,%d], got %d", MaxS, s)
+	}
+	if modulusBits < 64 || modulusBits%2 != 0 {
+		return nil, fmt.Errorf("dj: modulus bits must be even and >= 64, got %d", modulusBits)
+	}
+	p, q, err := mathx.GeneratePrimePair(r, modulusBits/2)
+	if err != nil {
+		return nil, fmt.Errorf("dj: generating primes: %w", err)
+	}
+	return newPrivateKey(p, q, s)
+}
+
+func newPrivateKey(p, q *big.Int, s int) (*PrivateKey, error) {
+	n := new(big.Int).Mul(p, q)
+	pk, err := newPublicKey(n, s)
+	if err != nil {
+		return nil, err
+	}
+	lambda := mathx.Lcm(new(big.Int).Sub(p, mathx.One), new(big.Int).Sub(q, mathx.One))
+	lambdaInv, err := mathx.ModInverse(new(big.Int).Mod(lambda, pk.PlaintextModulus()), pk.PlaintextModulus())
+	if err != nil {
+		return nil, fmt.Errorf("dj: λ not invertible mod n^s: %w", err)
+	}
+	return &PrivateKey{
+		PublicKey: *pk,
+		P:         p,
+		Q:         q,
+		Lambda:    lambda,
+		lambdaInv: lambdaInv,
+	}, nil
+}
+
+func newPublicKey(n *big.Int, s int) (*PublicKey, error) {
+	if s < 1 || s > MaxS {
+		return nil, fmt.Errorf("dj: s must be in [1,%d], got %d", MaxS, s)
+	}
+	pk := &PublicKey{N: new(big.Int).Set(n), S: s, npow: make([]*big.Int, s+1)}
+	acc := new(big.Int).Set(n)
+	for i := 0; i <= s; i++ {
+		if i > 0 {
+			acc = new(big.Int).Mul(acc, n)
+		}
+		pk.npow[i] = acc
+	}
+	pk.byteLen = (pk.npow[s].BitLen() + 7) / 8
+	return pk, nil
+}
+
+// CiphertextModulus returns n^(s+1).
+func (pk *PublicKey) CiphertextModulus() *big.Int { return pk.npow[pk.S] }
+
+// PlaintextModulus returns n^s.
+func (pk *PublicKey) PlaintextModulus() *big.Int { return pk.npow[pk.S-1] }
+
+// Ciphertext is an element of Z*_{n^(s+1)}.
+type Ciphertext struct {
+	c       *big.Int
+	byteLen int
+}
+
+// Bytes implements homomorphic.Ciphertext.
+func (ct *Ciphertext) Bytes() []byte { return ct.c.FillBytes(make([]byte, ct.byteLen)) }
+
+// onePlusNPow computes (1+n)^m mod n^(s+1) via the binomial theorem:
+// Σ_{k=0..s} C(m,k)·n^k, since n^(s+1) kills all higher terms. This is
+// much cheaper than a generic Exp for large s.
+func (pk *PublicKey) onePlusNPow(m *big.Int) *big.Int {
+	mod := pk.CiphertextModulus()
+	result := big.NewInt(1)
+	term := big.NewInt(1) // C(m,k)·n^k mod n^(s+1)
+	mk := new(big.Int)
+	for k := int64(1); k <= int64(pk.S); k++ {
+		// term *= (m - k + 1) · n · k^-1, all mod n^(s+1). k is coprime to
+		// n^(s+1) (n's prime factors are huge), so the inverse exists; a
+		// plain integer division would be wrong once term has been reduced.
+		mk.Sub(m, big.NewInt(k-1))
+		mk.Mod(mk, mod)
+		term.Mul(term, mk)
+		term.Mod(term, mod)
+		term.Mul(term, pk.N)
+		term.Mod(term, mod)
+		invK := new(big.Int).ModInverse(big.NewInt(k), mod)
+		term.Mul(term, invK)
+		term.Mod(term, mod)
+		result.Add(result, term)
+		result.Mod(result, mod)
+	}
+	return result
+}
+
+// Encrypt returns a randomized encryption of m ∈ [0, n^s).
+func (pk *PublicKey) Encrypt(m *big.Int) (homomorphic.Ciphertext, error) {
+	if m == nil || m.Sign() < 0 || m.Cmp(pk.PlaintextModulus()) >= 0 {
+		return nil, fmt.Errorf("dj: message outside [0, n^%d)", pk.S)
+	}
+	r, err := mathx.RandUnit(rand.Reader, pk.N)
+	if err != nil {
+		return nil, fmt.Errorf("dj: sampling nonce: %w", err)
+	}
+	mod := pk.CiphertextModulus()
+	// c = (1+n)^m · r^(n^s) mod n^(s+1)
+	rs := new(big.Int).Exp(r, pk.PlaintextModulus(), mod)
+	c := pk.onePlusNPow(m)
+	c.Mul(c, rs)
+	c.Mod(c, mod)
+	return &Ciphertext{c: c, byteLen: pk.byteLen}, nil
+}
+
+// Decrypt recovers m.
+func (sk *PrivateKey) Decrypt(c homomorphic.Ciphertext) (*big.Int, error) {
+	ct, err := sk.asDJ(c)
+	if err != nil {
+		return nil, err
+	}
+	mod := sk.CiphertextModulus()
+	// u = c^λ = (1+n)^(m·λ mod n^s)
+	u := new(big.Int).Exp(ct.c, sk.Lambda, mod)
+	e, err := sk.recoverExponent(u)
+	if err != nil {
+		return nil, err
+	}
+	m := e.Mul(e, sk.lambdaInv)
+	return m.Mod(m, sk.PlaintextModulus()), nil
+}
+
+// recoverExponent solves u = (1+n)^x mod n^(s+1) for x mod n^s using the
+// Damgård–Jurik extraction algorithm: peel one n-adic digit layer per
+// iteration, subtracting the binomial cross terms contributed by the
+// already-known lower part.
+func (pk *PublicKey) recoverExponent(u *big.Int) (*big.Int, error) {
+	n := pk.N
+	x := new(big.Int) // known value of the exponent mod n^(j-1)
+	for j := 1; j <= pk.S; j++ {
+		nj := pk.npow[j-1] // n^j
+		njp1 := pk.npow[j] // n^(j+1)
+		uj := new(big.Int).Mod(u, njp1)
+		t1, err := mathx.L(uj, n)
+		if err != nil {
+			return nil, fmt.Errorf("dj: extraction layer %d: %w", j, err)
+		}
+		t1.Mod(t1, nj)
+		// Subtract Σ_{k=2..j} C(x,k)·n^(k-1) mod n^j.
+		t2 := new(big.Int).Set(x) // falling factorial x(x-1)...(x-k+1)
+		xi := new(big.Int).Set(x) // x - (k-1)
+		kfact := big.NewInt(1)
+		npow := big.NewInt(1) // n^(k-1)
+		for k := int64(2); k <= int64(j); k++ {
+			xi.Sub(xi, mathx.One)
+			t2.Mul(t2, xi)
+			t2.Mod(t2, nj)
+			kfact.Mul(kfact, big.NewInt(k))
+			npow.Mul(npow, n)
+			invFact, err := mathx.ModInverse(new(big.Int).Mod(kfact, nj), nj)
+			if err != nil {
+				return nil, fmt.Errorf("dj: k! not invertible mod n^%d: %w", j, err)
+			}
+			term := new(big.Int).Mul(t2, npow)
+			term.Mod(term, nj)
+			term.Mul(term, invFact)
+			term.Mod(term, nj)
+			t1.Sub(t1, term)
+			t1.Mod(t1, nj)
+		}
+		x = t1
+	}
+	return x, nil
+}
+
+func (pk *PublicKey) asDJ(c homomorphic.Ciphertext) (*Ciphertext, error) {
+	ct, ok := c.(*Ciphertext)
+	if !ok {
+		return nil, fmt.Errorf("dj: foreign ciphertext type %T", c)
+	}
+	if ct.c == nil || ct.c.Sign() <= 0 || ct.c.Cmp(pk.CiphertextModulus()) >= 0 {
+		return nil, errors.New("dj: ciphertext outside (0, n^(s+1))")
+	}
+	return ct, nil
+}
+
+// Add implements homomorphic.PublicKey.
+func (pk *PublicKey) Add(a, b homomorphic.Ciphertext) (homomorphic.Ciphertext, error) {
+	ca, err := pk.asDJ(a)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := pk.asDJ(b)
+	if err != nil {
+		return nil, err
+	}
+	c := new(big.Int).Mul(ca.c, cb.c)
+	c.Mod(c, pk.CiphertextModulus())
+	return &Ciphertext{c: c, byteLen: pk.byteLen}, nil
+}
+
+// ScalarMul implements homomorphic.PublicKey.
+func (pk *PublicKey) ScalarMul(c homomorphic.Ciphertext, k *big.Int) (homomorphic.Ciphertext, error) {
+	ct, err := pk.asDJ(c)
+	if err != nil {
+		return nil, err
+	}
+	if k == nil {
+		return nil, errors.New("dj: nil scalar")
+	}
+	km := new(big.Int).Mod(k, pk.PlaintextModulus())
+	out := new(big.Int).Exp(ct.c, km, pk.CiphertextModulus())
+	return &Ciphertext{c: out, byteLen: pk.byteLen}, nil
+}
+
+// Rerandomize implements homomorphic.PublicKey.
+func (pk *PublicKey) Rerandomize(c homomorphic.Ciphertext) (homomorphic.Ciphertext, error) {
+	zero, err := pk.Encrypt(new(big.Int))
+	if err != nil {
+		return nil, err
+	}
+	return pk.Add(c, zero)
+}
+
+// PlaintextSpace implements homomorphic.PublicKey.
+func (pk *PublicKey) PlaintextSpace() *big.Int { return new(big.Int).Set(pk.PlaintextModulus()) }
+
+// CiphertextSize implements homomorphic.PublicKey.
+func (pk *PublicKey) CiphertextSize() int { return pk.byteLen }
+
+// SchemeName implements homomorphic.PublicKey.
+func (pk *PublicKey) SchemeName() string { return SchemeID }
+
+// ParseCiphertext implements homomorphic.PublicKey.
+func (pk *PublicKey) ParseCiphertext(b []byte) (homomorphic.Ciphertext, error) {
+	if len(b) != pk.byteLen {
+		return nil, fmt.Errorf("dj: ciphertext is %d bytes, want %d", len(b), pk.byteLen)
+	}
+	ct := &Ciphertext{c: new(big.Int).SetBytes(b), byteLen: pk.byteLen}
+	return pk.asDJ(ct)
+}
+
+// PublicKey implements homomorphic.PrivateKey.
+func (sk *PrivateKey) Public() *PublicKey { return &sk.PublicKey }
+
+// PrivKey adapts *PrivateKey to homomorphic.PrivateKey.
+type PrivKey struct{ SK *PrivateKey }
+
+var (
+	_ homomorphic.PublicKey  = (*PublicKey)(nil)
+	_ homomorphic.PrivateKey = PrivKey{}
+)
+
+// PublicKey implements homomorphic.PrivateKey.
+func (k PrivKey) PublicKey() homomorphic.PublicKey { return k.SK.Public() }
+
+// Decrypt implements homomorphic.PrivateKey.
+func (k PrivKey) Decrypt(c homomorphic.Ciphertext) (*big.Int, error) { return k.SK.Decrypt(c) }

@@ -1,0 +1,219 @@
+package dj
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"privstats/internal/database"
+	"privstats/internal/mathx"
+	"privstats/internal/netsim"
+	"privstats/internal/selectedsum"
+)
+
+func keyFor(t testing.TB, bits, s int) *PrivateKey {
+	t.Helper()
+	sk, err := KeyGen(rand.Reader, bits, s)
+	if err != nil {
+		t.Fatalf("KeyGen(%d,%d): %v", bits, s, err)
+	}
+	return sk
+}
+
+func TestKeyGenValidation(t *testing.T) {
+	if _, err := KeyGen(rand.Reader, 128, 0); err == nil {
+		t.Error("s=0 should fail")
+	}
+	if _, err := KeyGen(rand.Reader, 128, MaxS+1); err == nil {
+		t.Error("s too large should fail")
+	}
+	if _, err := KeyGen(rand.Reader, 32, 1); err == nil {
+		t.Error("tiny modulus should fail")
+	}
+	if _, err := KeyGen(rand.Reader, 127, 1); err == nil {
+		t.Error("odd modulus bits should fail")
+	}
+}
+
+func TestRoundTripAllS(t *testing.T) {
+	for _, s := range []int{1, 2, 3} {
+		sk := keyFor(t, 128, s)
+		pk := sk.Public()
+		for i := 0; i < 20; i++ {
+			m, err := mathx.RandInt(rand.Reader, pk.PlaintextModulus())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct, err := pk.Encrypt(m)
+			if err != nil {
+				t.Fatalf("s=%d: Encrypt: %v", s, err)
+			}
+			got, err := sk.Decrypt(ct)
+			if err != nil {
+				t.Fatalf("s=%d: Decrypt: %v", s, err)
+			}
+			if got.Cmp(m) != 0 {
+				t.Fatalf("s=%d: round trip %v != %v", s, got, m)
+			}
+		}
+	}
+}
+
+func TestPlaintextSpaceGrowsWithS(t *testing.T) {
+	sk1 := keyFor(t, 128, 1)
+	sk3 := keyFor(t, 128, 3)
+	if sk1.PlaintextModulus().BitLen() >= sk3.PlaintextModulus().BitLen() {
+		t.Errorf("s=3 plaintext space (%d bits) should exceed s=1 (%d bits)",
+			sk3.PlaintextModulus().BitLen(), sk1.PlaintextModulus().BitLen())
+	}
+	// A message that overflows s=1 fits s=3.
+	big1 := new(big.Int).Lsh(mathx.One, 200)
+	if _, err := sk1.Public().Encrypt(big1); err == nil {
+		t.Error("200-bit message should not fit 128-bit s=1 plaintext space")
+	}
+	ct, err := sk3.Public().Encrypt(big1)
+	if err != nil {
+		t.Fatalf("200-bit message should fit s=3: %v", err)
+	}
+	got, err := sk3.Decrypt(ct)
+	if err != nil || got.Cmp(big1) != 0 {
+		t.Errorf("s=3 round trip of 2^200: %v (err %v)", got, err)
+	}
+}
+
+func TestHomomorphism(t *testing.T) {
+	sk := keyFor(t, 128, 2)
+	pk := sk.Public()
+	a, b := big.NewInt(123456789), big.NewInt(987654321)
+	ca, err := pk.Encrypt(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := pk.Encrypt(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := pk.Add(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 123456789+987654321 {
+		t.Errorf("sum = %v", got)
+	}
+	scaled, err := pk.ScalarMul(ca, big.NewInt(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = sk.Decrypt(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 123456789000 {
+		t.Errorf("scaled = %v", got)
+	}
+}
+
+func TestEncryptionRandomizedAndRerandomize(t *testing.T) {
+	sk := keyFor(t, 128, 2)
+	pk := sk.Public()
+	m := big.NewInt(42)
+	a, _ := pk.Encrypt(m)
+	b, _ := pk.Encrypt(m)
+	if string(a.Bytes()) == string(b.Bytes()) {
+		t.Fatal("deterministic encryption")
+	}
+	fresh, err := pk.Rerandomize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fresh.Bytes()) == string(a.Bytes()) {
+		t.Error("rerandomize returned the same bytes")
+	}
+	got, err := sk.Decrypt(fresh)
+	if err != nil || got.Int64() != 42 {
+		t.Errorf("rerandomized = %v (err %v)", got, err)
+	}
+}
+
+func TestParseCiphertextValidation(t *testing.T) {
+	sk := keyFor(t, 128, 1)
+	pk := sk.Public()
+	ct, _ := pk.Encrypt(big.NewInt(5))
+	back, err := pk.ParseCiphertext(ct.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(back)
+	if err != nil || got.Int64() != 5 {
+		t.Errorf("parsed = %v (err %v)", got, err)
+	}
+	if _, err := pk.ParseCiphertext([]byte{1}); err == nil {
+		t.Error("short ciphertext should fail")
+	}
+	if _, err := pk.ParseCiphertext(make([]byte, pk.CiphertextSize())); err == nil {
+		t.Error("zero ciphertext should fail")
+	}
+}
+
+func TestKeyMarshalRoundTrip(t *testing.T) {
+	sk := keyFor(t, 128, 3)
+	b, err := sk.Public().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk2, err := ParsePublicKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk2.S != 3 || pk2.N.Cmp(sk.N) != 0 {
+		t.Fatal("key fields corrupted")
+	}
+	ct, err := pk2.Encrypt(big.NewInt(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(ct)
+	if err != nil || got.Int64() != 777 {
+		t.Errorf("cross decrypt = %v (err %v)", got, err)
+	}
+	if _, err := ParsePublicKey(b[:5]); err == nil {
+		t.Error("truncated key should fail")
+	}
+	bad := append([]byte{}, b...)
+	bad[0] ^= 0xFF
+	if _, err := ParsePublicKey(bad); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+func TestSelectedSumRunsOverDJ(t *testing.T) {
+	// The whole protocol stack must work unchanged over Damgård–Jurik.
+	sk := keyFor(t, 128, 2)
+	table, err := database.Generate(40, database.DistSmall, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := database.GenerateSelection(40, 17, database.PatternRandom, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := table.SelectedSum(sel)
+	res, err := selectedsum.Run(PrivKey{SK: sk}, table, sel, selectedsum.Options{Link: netsim.ShortDistance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum.Cmp(want) != 0 {
+		t.Errorf("DJ selected sum = %v, want %v", res.Sum, want)
+	}
+}
+
+func TestDecryptRejectsForeign(t *testing.T) {
+	sk := keyFor(t, 128, 1)
+	if _, err := sk.Decrypt(nil); err == nil {
+		t.Error("nil ciphertext should fail")
+	}
+}

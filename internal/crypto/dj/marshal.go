@@ -1,0 +1,51 @@
+package dj
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Public-key wire encoding: magic, version, s, then n.
+const (
+	keyMagic   = "PSDJ"
+	keyVersion = 1
+)
+
+// MarshalBinary implements homomorphic.PublicKey.
+func (pk *PublicKey) MarshalBinary() ([]byte, error) {
+	if pk.N == nil || pk.N.Sign() <= 0 {
+		return nil, errors.New("dj: cannot marshal zero key")
+	}
+	raw := pk.N.Bytes()
+	b := make([]byte, 0, 16+len(raw))
+	b = append(b, keyMagic...)
+	b = binary.BigEndian.AppendUint32(b, keyVersion)
+	b = binary.BigEndian.AppendUint32(b, uint32(pk.S))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(raw)))
+	return append(b, raw...), nil
+}
+
+// ParsePublicKey decodes a key written by MarshalBinary.
+func ParsePublicKey(data []byte) (*PublicKey, error) {
+	if len(data) < 16 {
+		return nil, errors.New("dj: truncated public key")
+	}
+	if string(data[:4]) != keyMagic {
+		return nil, fmt.Errorf("dj: bad key magic %q", data[:4])
+	}
+	if v := binary.BigEndian.Uint32(data[4:]); v != keyVersion {
+		return nil, fmt.Errorf("dj: unsupported key version %d", v)
+	}
+	s := binary.BigEndian.Uint32(data[8:])
+	nLen := binary.BigEndian.Uint32(data[12:])
+	if uint32(len(data)-16) != nLen {
+		return nil, errors.New("dj: key length mismatch")
+	}
+	n := new(big.Int).SetBytes(data[16:])
+	if n.BitLen() < 64 {
+		return nil, fmt.Errorf("dj: modulus too small (%d bits)", n.BitLen())
+	}
+	return newPublicKey(n, int(s))
+}

@@ -1,0 +1,69 @@
+package elgamal
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+var (
+	benchOnce sync.Once
+	benchSK   *PrivateKey
+	benchErr  error
+)
+
+func benchKey(b *testing.B) *PrivateKey {
+	b.Helper()
+	benchOnce.Do(func() { benchSK, benchErr = KeyGen(rand.Reader, 512, 160, 1<<24) })
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSK
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	sk := benchKey(b)
+	m := big.NewInt(424242)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.PublicKey.Encrypt(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecryptBSGS(b *testing.B) {
+	// Includes the baby-step giant-step discrete log — ElGamal's structural
+	// cost that Paillier does not pay.
+	sk := benchKey(b)
+	ct, err := sk.PublicKey.Encrypt(big.NewInt(1<<24 - 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sk.Decrypt(ct); err != nil { // build the table outside the loop
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScalarMul32Bit(b *testing.B) {
+	sk := benchKey(b)
+	pk := &sk.PublicKey
+	ct, err := pk.Encrypt(big.NewInt(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := big.NewInt(0xDEADBEEF)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.ScalarMul(ct, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package elgamal
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+
+	"privstats/internal/database"
+	"privstats/internal/netsim"
+	"privstats/internal/selectedsum"
+)
+
+var (
+	egOnce sync.Once
+	egKey  *PrivateKey
+	egErr  error
+)
+
+func testKey(t testing.TB) *PrivateKey {
+	t.Helper()
+	egOnce.Do(func() { egKey, egErr = KeyGen(rand.Reader, 256, 160, 1<<20) })
+	if egErr != nil {
+		t.Fatalf("KeyGen: %v", egErr)
+	}
+	return egKey
+}
+
+func TestKeyGenValidation(t *testing.T) {
+	if _, err := KeyGen(rand.Reader, 64, 60, 100); err == nil {
+		t.Error("p too close to q should fail")
+	}
+	if _, err := KeyGen(rand.Reader, 128, 16, 100); err == nil {
+		t.Error("tiny q should fail")
+	}
+	if _, err := KeyGen(rand.Reader, 128, 64, 0); err == nil {
+		t.Error("zero plaintext bound should fail")
+	}
+}
+
+func TestGroupStructure(t *testing.T) {
+	sk := testKey(t)
+	// p = kq+1: q divides p-1.
+	pm1 := new(big.Int).Sub(sk.P, big.NewInt(1))
+	if new(big.Int).Mod(pm1, sk.Q).Sign() != 0 {
+		t.Error("q does not divide p-1")
+	}
+	// g has order q: g^q = 1, g ≠ 1.
+	if new(big.Int).Exp(sk.G, sk.Q, sk.P).Cmp(big.NewInt(1)) != 0 {
+		t.Error("g^q != 1")
+	}
+	if sk.G.Cmp(big.NewInt(1)) == 0 {
+		t.Error("g == 1")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	sk := testKey(t)
+	pk := &sk.PublicKey
+	for _, m := range []int64{0, 1, 2, 1000, 1 << 19} {
+		ct, err := pk.Encrypt(big.NewInt(m))
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		got, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatalf("Decrypt(%d): %v", m, err)
+		}
+		if got.Int64() != m {
+			t.Errorf("round trip %d -> %v", m, got)
+		}
+	}
+}
+
+func TestDecryptBeyondBoundFails(t *testing.T) {
+	sk := testKey(t)
+	pk := &sk.PublicKey
+	// 2^20 + 1 exceeds the bound 2^20.
+	ct, err := pk.Encrypt(big.NewInt(1<<20 + 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.Decrypt(ct); err == nil {
+		t.Error("plaintext beyond BSGS bound should fail loudly")
+	}
+}
+
+func TestHomomorphism(t *testing.T) {
+	sk := testKey(t)
+	pk := &sk.PublicKey
+	ca, _ := pk.Encrypt(big.NewInt(300))
+	cb, _ := pk.Encrypt(big.NewInt(45))
+	sum, err := pk.Add(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(sum)
+	if err != nil || got.Int64() != 345 {
+		t.Errorf("sum = %v (err %v)", got, err)
+	}
+	scaled, err := pk.ScalarMul(ca, big.NewInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = sk.Decrypt(scaled)
+	if err != nil || got.Int64() != 2100 {
+		t.Errorf("scaled = %v (err %v)", got, err)
+	}
+}
+
+func TestEncryptionRandomized(t *testing.T) {
+	sk := testKey(t)
+	pk := &sk.PublicKey
+	a, _ := pk.Encrypt(big.NewInt(9))
+	b, _ := pk.Encrypt(big.NewInt(9))
+	if string(a.Bytes()) == string(b.Bytes()) {
+		t.Fatal("deterministic encryption")
+	}
+	fresh, err := pk.Rerandomize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(fresh)
+	if err != nil || got.Int64() != 9 {
+		t.Errorf("rerandomized = %v (err %v)", got, err)
+	}
+}
+
+func TestParseCiphertext(t *testing.T) {
+	sk := testKey(t)
+	pk := &sk.PublicKey
+	ct, _ := pk.Encrypt(big.NewInt(77))
+	b := ct.Bytes()
+	if len(b) != pk.CiphertextSize() {
+		t.Fatalf("encoded %d bytes, want %d", len(b), pk.CiphertextSize())
+	}
+	back, err := pk.ParseCiphertext(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(back)
+	if err != nil || got.Int64() != 77 {
+		t.Errorf("parsed = %v (err %v)", got, err)
+	}
+	if _, err := pk.ParseCiphertext(b[:3]); err == nil {
+		t.Error("short encoding should fail")
+	}
+	if _, err := pk.ParseCiphertext(make([]byte, pk.CiphertextSize())); err == nil {
+		t.Error("zero elements should fail")
+	}
+}
+
+func TestKeyMarshalRoundTrip(t *testing.T) {
+	sk := testKey(t)
+	b, err := sk.PublicKey.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk2, err := ParsePublicKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := pk2.Encrypt(big.NewInt(1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(ct)
+	if err != nil || got.Int64() != 1234 {
+		t.Errorf("cross decrypt = %v (err %v)", got, err)
+	}
+	if _, err := ParsePublicKey(b[:7]); err == nil {
+		t.Error("truncated key should fail")
+	}
+}
+
+func TestSelectedSumRunsOverElGamal(t *testing.T) {
+	// The protocol stack is scheme-generic; the sum must stay under the
+	// BSGS bound (2^20), so use small values.
+	sk := testKey(t)
+	table, err := database.Generate(30, database.DistSmall, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := database.GenerateSelection(30, 12, database.PatternRandom, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := table.SelectedSum(sel)
+	res, err := selectedsum.Run(PrivKey{SK: sk}, table, sel, selectedsum.Options{Link: netsim.ShortDistance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum.Cmp(want) != 0 {
+		t.Errorf("ElGamal selected sum = %v, want %v", res.Sum, want)
+	}
+}

@@ -1,0 +1,152 @@
+// Package gm implements the Goldwasser–Micali cryptosystem: semantically
+// secure encryption of single bits, homomorphic under XOR. It predates
+// Paillier and is the historical root of the "semantic security" property
+// the paper requires of its encryption scheme (Section 2).
+//
+// GM cannot run the selected-sum protocol — XOR is not integer addition —
+// and that contrast is exactly why it is here: the design-space benchmarks
+// use it to show what the Paillier choice buys. A ciphertext encrypts ONE
+// bit in a full group element, so encrypting a 32-bit value costs 32
+// elements where Paillier needs a fraction of one.
+package gm
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"privstats/internal/mathx"
+)
+
+// PublicKey holds the modulus and a quadratic non-residue with Jacobi
+// symbol +1.
+type PublicKey struct {
+	N *big.Int
+	// X is a non-residue mod N with (X/N) = 1; encryptions of 1 multiply
+	// by it.
+	X *big.Int
+
+	byteLen int
+}
+
+// PrivateKey holds the factorization.
+type PrivateKey struct {
+	PublicKey
+	P, Q *big.Int
+}
+
+// KeyGen generates a key with a modulus of modulusBits bits.
+func KeyGen(r io.Reader, modulusBits int) (*PrivateKey, error) {
+	if modulusBits < 64 || modulusBits%2 != 0 {
+		return nil, fmt.Errorf("gm: modulus bits must be even and >= 64, got %d", modulusBits)
+	}
+	p, q, err := mathx.GeneratePrimePair(r, modulusBits/2)
+	if err != nil {
+		return nil, fmt.Errorf("gm: generating primes: %w", err)
+	}
+	n := new(big.Int).Mul(p, q)
+	// Find x with (x/p) = (x/q) = -1: a non-residue with Jacobi (x/n) = +1.
+	var x *big.Int
+	for i := 0; i < 10000; i++ {
+		cand, err := mathx.RandUnit(r, n)
+		if err != nil {
+			return nil, err
+		}
+		jp := big.Jacobi(cand, p)
+		jq := big.Jacobi(cand, q)
+		if jp == -1 && jq == -1 {
+			x = cand
+			break
+		}
+	}
+	if x == nil {
+		return nil, errors.New("gm: could not find a non-residue (should be ~1/4 of candidates)")
+	}
+	return &PrivateKey{
+		PublicKey: PublicKey{N: n, X: x, byteLen: (n.BitLen() + 7) / 8},
+		P:         p,
+		Q:         q,
+	}, nil
+}
+
+// Ciphertext encrypts one bit as an element of Z*_N.
+type Ciphertext struct {
+	c       *big.Int
+	byteLen int
+}
+
+// Bytes returns the fixed-width encoding.
+func (ct *Ciphertext) Bytes() []byte { return ct.c.FillBytes(make([]byte, ct.byteLen)) }
+
+// EncryptBit encrypts b ∈ {0, 1} as r²·x^b mod N.
+func (pk *PublicKey) EncryptBit(b uint) (*Ciphertext, error) {
+	if b > 1 {
+		return nil, fmt.Errorf("gm: bit must be 0 or 1, got %d", b)
+	}
+	r, err := mathx.RandUnit(rand.Reader, pk.N)
+	if err != nil {
+		return nil, err
+	}
+	c := new(big.Int).Mul(r, r)
+	c.Mod(c, pk.N)
+	if b == 1 {
+		c.Mul(c, pk.X)
+		c.Mod(c, pk.N)
+	}
+	return &Ciphertext{c: c, byteLen: pk.byteLen}, nil
+}
+
+// Xor homomorphically XORs two encrypted bits: multiplication mod N.
+func (pk *PublicKey) Xor(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := pk.check(a); err != nil {
+		return nil, err
+	}
+	if err := pk.check(b); err != nil {
+		return nil, err
+	}
+	c := new(big.Int).Mul(a.c, b.c)
+	c.Mod(c, pk.N)
+	return &Ciphertext{c: c, byteLen: pk.byteLen}, nil
+}
+
+func (pk *PublicKey) check(ct *Ciphertext) error {
+	if ct == nil || ct.c == nil || ct.c.Sign() <= 0 || ct.c.Cmp(pk.N) >= 0 {
+		return errors.New("gm: malformed ciphertext")
+	}
+	return nil
+}
+
+// DecryptBit recovers the bit: residue → 0, non-residue → 1, decided by the
+// Legendre symbol mod P.
+func (sk *PrivateKey) DecryptBit(ct *Ciphertext) (uint, error) {
+	if err := sk.check(ct); err != nil {
+		return 0, err
+	}
+	switch big.Jacobi(ct.c, sk.P) {
+	case 1:
+		return 0, nil
+	case -1:
+		return 1, nil
+	default:
+		return 0, errors.New("gm: ciphertext shares a factor with the modulus")
+	}
+}
+
+// EncryptBits encrypts a bit slice; the expansion factor (one group element
+// per bit) is the number the design benchmarks report.
+func (pk *PublicKey) EncryptBits(bits []uint) ([]*Ciphertext, error) {
+	out := make([]*Ciphertext, len(bits))
+	for i, b := range bits {
+		ct, err := pk.EncryptBit(b)
+		if err != nil {
+			return nil, fmt.Errorf("gm: bit %d: %w", i, err)
+		}
+		out[i] = ct
+	}
+	return out, nil
+}
+
+// CiphertextSize returns the bytes one encrypted bit occupies.
+func (pk *PublicKey) CiphertextSize() int { return pk.byteLen }

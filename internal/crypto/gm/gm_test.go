@@ -1,0 +1,133 @@
+package gm
+
+import (
+	"crypto/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	gmOnce sync.Once
+	gmKey  *PrivateKey
+	gmErr  error
+)
+
+func testKey(t testing.TB) *PrivateKey {
+	t.Helper()
+	gmOnce.Do(func() { gmKey, gmErr = KeyGen(rand.Reader, 128) })
+	if gmErr != nil {
+		t.Fatalf("KeyGen: %v", gmErr)
+	}
+	return gmKey
+}
+
+func TestKeyGenValidation(t *testing.T) {
+	if _, err := KeyGen(rand.Reader, 32); err == nil {
+		t.Error("tiny modulus should fail")
+	}
+	if _, err := KeyGen(rand.Reader, 127); err == nil {
+		t.Error("odd bits should fail")
+	}
+}
+
+func TestBitRoundTrip(t *testing.T) {
+	sk := testKey(t)
+	for b := uint(0); b <= 1; b++ {
+		for i := 0; i < 20; i++ {
+			ct, err := sk.EncryptBit(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sk.DecryptBit(ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != b {
+				t.Fatalf("round trip %d -> %d", b, got)
+			}
+		}
+	}
+	if _, err := sk.EncryptBit(2); err == nil {
+		t.Error("bit 2 should fail")
+	}
+}
+
+func TestEncryptionRandomized(t *testing.T) {
+	sk := testKey(t)
+	a, _ := sk.EncryptBit(1)
+	b, _ := sk.EncryptBit(1)
+	if string(a.Bytes()) == string(b.Bytes()) {
+		t.Fatal("deterministic encryption")
+	}
+}
+
+func TestXorHomomorphism(t *testing.T) {
+	sk := testKey(t)
+	prop := func(x, y bool) bool {
+		bx, by := uint(0), uint(0)
+		if x {
+			bx = 1
+		}
+		if y {
+			by = 1
+		}
+		cx, err := sk.EncryptBit(bx)
+		if err != nil {
+			return false
+		}
+		cy, err := sk.EncryptBit(by)
+		if err != nil {
+			return false
+		}
+		cz, err := sk.Xor(cx, cy)
+		if err != nil {
+			return false
+		}
+		got, err := sk.DecryptBit(cz)
+		if err != nil {
+			return false
+		}
+		return got == bx^by
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncryptBits(t *testing.T) {
+	sk := testKey(t)
+	bits := []uint{1, 0, 1, 1, 0, 0, 1}
+	cts, err := sk.EncryptBits(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ct := range cts {
+		got, err := sk.DecryptBit(ct)
+		if err != nil || got != bits[i] {
+			t.Fatalf("bit %d: %d (err %v)", i, got, err)
+		}
+	}
+	if _, err := sk.EncryptBits([]uint{3}); err == nil {
+		t.Error("invalid bit should fail")
+	}
+}
+
+func TestExpansionFactor(t *testing.T) {
+	// One bit costs a full group element: the contrast with Paillier the
+	// design benchmarks report.
+	sk := testKey(t)
+	if sk.CiphertextSize() != 16 { // 128-bit modulus
+		t.Errorf("ciphertext size = %d bytes, want 16", sk.CiphertextSize())
+	}
+}
+
+func TestMalformedCiphertext(t *testing.T) {
+	sk := testKey(t)
+	if _, err := sk.DecryptBit(nil); err == nil {
+		t.Error("nil ciphertext should fail")
+	}
+	if _, err := sk.Xor(nil, nil); err == nil {
+		t.Error("nil xor should fail")
+	}
+}

@@ -1,0 +1,35 @@
+package database
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTable: arbitrary bytes must never panic the table parser, and
+// any table that parses must survive a write/read round trip.
+func FuzzReadTable(f *testing.F) {
+	var seed bytes.Buffer
+	if _, err := New([]uint32{1, 2, 3}).WriteTo(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("PSDB garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := ReadTable(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := tab.WriteTo(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadTable(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != tab.Len() {
+			t.Fatal("round trip changed length")
+		}
+	})
+}

@@ -1,0 +1,81 @@
+// Package homomorphic defines the additively homomorphic encryption
+// interface that the selected-sum protocol layer is written against.
+//
+// The paper's protocol needs exactly the properties stated in its Section 2:
+// semantically secure encryption where E(a)·E(b) = E(a+b) and E(a)^c =
+// E(a·c). The Paillier cryptosystem (internal/paillier) is the instantiation
+// the paper uses; Damgård–Jurik and exponential ElGamal (internal/crypto/…)
+// implement the same interface and are used for ablation benchmarks.
+package homomorphic
+
+import "math/big"
+
+// Ciphertext is an opaque encrypted value. Implementations are immutable:
+// homomorphic operations return fresh ciphertexts and never mutate their
+// operands, so ciphertexts may be shared freely across goroutines.
+type Ciphertext interface {
+	// Bytes returns the canonical fixed-width encoding of the ciphertext,
+	// suitable for the wire. The width is the owning scheme's
+	// CiphertextSize.
+	Bytes() []byte
+}
+
+// PublicKey is the encrypting side of an additively homomorphic scheme.
+// All plaintext arithmetic is modulo PlaintextSpace().
+type PublicKey interface {
+	// SchemeName identifies the scheme (e.g. "paillier") for wire
+	// negotiation and reporting.
+	SchemeName() string
+
+	// Encrypt returns a fresh randomized encryption of m.
+	// m must lie in [0, PlaintextSpace()).
+	Encrypt(m *big.Int) (Ciphertext, error)
+
+	// Add returns an encryption of the sum of the two plaintexts.
+	Add(a, b Ciphertext) (Ciphertext, error)
+
+	// ScalarMul returns an encryption of k times the plaintext of c.
+	// k may be any non-negative integer.
+	ScalarMul(c Ciphertext, k *big.Int) (Ciphertext, error)
+
+	// Rerandomize returns a fresh encryption of the same plaintext,
+	// unlinkable to c. The server uses this (composed with an encryption
+	// of a blinding value) in the multi-client protocol.
+	Rerandomize(c Ciphertext) (Ciphertext, error)
+
+	// PlaintextSpace returns the modulus M of the plaintext ring Z_M.
+	PlaintextSpace() *big.Int
+
+	// CiphertextSize returns the fixed byte width of an encoded ciphertext.
+	CiphertextSize() int
+
+	// ParseCiphertext decodes and validates a ciphertext encoded by
+	// Ciphertext.Bytes. It must reject values outside the ciphertext
+	// space rather than produce undefined results.
+	ParseCiphertext(b []byte) (Ciphertext, error)
+
+	// MarshalBinary encodes the public key for the session Hello.
+	MarshalBinary() ([]byte, error)
+}
+
+// PrivateKey is the decrypting side of a scheme.
+type PrivateKey interface {
+	// PublicKey returns the matching public key.
+	PublicKey() PublicKey
+
+	// Decrypt returns the plaintext of c in [0, PlaintextSpace()).
+	Decrypt(c Ciphertext) (*big.Int, error)
+}
+
+// EncryptorPool is implemented by schemes that can hand out precomputed
+// encryptions of fixed plaintexts — the paper's Section 3.3 preprocessing
+// optimization. Implementations must be safe for concurrent use.
+type EncryptorPool interface {
+	// DrawBit returns a precomputed fresh encryption of bit (0 or 1),
+	// falling back to online encryption when the pool is empty.
+	DrawBit(bit uint) (Ciphertext, error)
+
+	// Remaining reports how many precomputed encryptions of the given bit
+	// are still stocked.
+	Remaining(bit uint) int
+}

@@ -1,0 +1,59 @@
+package homomorphic
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The scheme registry lets the transport-facing server reconstruct a public
+// key from the scheme name and key bytes carried in the session Hello,
+// without the wire layer depending on every cryptosystem package. Each
+// cryptosystem registers a parser from its init function (the image-format
+// registration pattern); programs import the schemes they accept for side
+// effect.
+
+// KeyParser decodes a public key previously produced by MarshalBinary.
+type KeyParser func(keyBytes []byte) (PublicKey, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]KeyParser{}
+)
+
+// Register installs a parser for the named scheme. It panics when called
+// twice for the same name — that is always a programmer error.
+func Register(name string, parser KeyParser) {
+	if name == "" || parser == nil {
+		panic("homomorphic: Register with empty name or nil parser")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("homomorphic: scheme %q registered twice", name))
+	}
+	registry[name] = parser
+}
+
+// ParsePublicKey decodes keyBytes as a public key of the named scheme.
+func ParsePublicKey(scheme string, keyBytes []byte) (PublicKey, error) {
+	registryMu.RLock()
+	parser, ok := registry[scheme]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("homomorphic: unknown scheme %q (registered: %v)", scheme, Schemes())
+	}
+	return parser(keyBytes)
+}
+
+// Schemes lists the registered scheme names in sorted order.
+func Schemes() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,109 @@
+package mathx
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// FixedBaseExp accelerates repeated exponentiations g^e mod m that share the
+// same base g, using a precomputed radix-2^w table of g^(2^(w·i)).
+//
+// The client in the selected-sum protocol performs n encryptions; with the
+// random-r Paillier path each encryption is an exponentiation with a fresh
+// base, but the scheme's generator path (and the Damgård–Jurik and ElGamal
+// schemes) exponentiate one fixed generator with fresh exponents, which is
+// exactly the workload this table serves. For a 512-bit exponent and w = 6
+// the table replaces ~768 multiplications of square-and-multiply with ~86
+// table multiplications.
+type FixedBaseExp struct {
+	m       *big.Int
+	window  uint
+	maxBits int
+	// table[i][d] = g^(d << (window*i)) mod m for d in [0, 2^window).
+	table [][]*big.Int
+}
+
+// NewFixedBaseExp precomputes powers of base modulo m for exponents of up to
+// maxBits bits using the given window width (1..16; 6 is a good default for
+// 512-1024 bit exponents).
+func NewFixedBaseExp(base, m *big.Int, maxBits int, window uint) (*FixedBaseExp, error) {
+	if m == nil || m.Sign() <= 0 {
+		return nil, ErrBadModulus
+	}
+	if window < 1 || window > 16 {
+		return nil, fmt.Errorf("mathx: fixed-base window must be in [1,16], got %d", window)
+	}
+	if maxBits < 1 {
+		return nil, fmt.Errorf("mathx: fixed-base maxBits must be positive, got %d", maxBits)
+	}
+	digits := (maxBits + int(window) - 1) / int(window)
+	radix := 1 << window
+	f := &FixedBaseExp{
+		m:       new(big.Int).Set(m),
+		window:  window,
+		maxBits: maxBits,
+		table:   make([][]*big.Int, digits),
+	}
+	// g_i = base^(2^(w·i)); row i holds g_i^d for all digits d.
+	gi := new(big.Int).Mod(base, m)
+	for i := 0; i < digits; i++ {
+		row := make([]*big.Int, radix)
+		row[0] = big.NewInt(1)
+		acc := big.NewInt(1)
+		for d := 1; d < radix; d++ {
+			acc = new(big.Int).Mul(acc, gi)
+			acc.Mod(acc, m)
+			row[d] = acc
+			acc = new(big.Int).Set(acc)
+		}
+		f.table[i] = row
+		// Advance g_{i+1} = g_i^(2^w).
+		next := new(big.Int).Set(gi)
+		for s := uint(0); s < window; s++ {
+			next.Mul(next, next)
+			next.Mod(next, m)
+		}
+		gi = next
+	}
+	return f, nil
+}
+
+// MaxBits reports the largest exponent bit-length the table supports.
+func (f *FixedBaseExp) MaxBits() int { return f.maxBits }
+
+// Exp returns base^e mod m using the precomputed table. e must be
+// non-negative and at most MaxBits() bits.
+func (f *FixedBaseExp) Exp(e *big.Int) (*big.Int, error) {
+	if e.Sign() < 0 {
+		return nil, fmt.Errorf("mathx: fixed-base exponent must be non-negative")
+	}
+	if e.BitLen() > f.maxBits {
+		return nil, fmt.Errorf("mathx: exponent has %d bits, table supports %d", e.BitLen(), f.maxBits)
+	}
+	result := big.NewInt(1)
+	mask := uint64(1<<f.window - 1)
+	// Walk the exponent window by window from the least significant end;
+	// row i already encodes the 2^(w·i) shift, so the product of the
+	// selected row entries is the full power.
+	bits := e.BitLen()
+	for i := 0; i*int(f.window) < bits; i++ {
+		d := extractWindow(e, uint(i)*f.window, f.window, mask)
+		if d == 0 {
+			continue
+		}
+		result.Mul(result, f.table[i][d])
+		result.Mod(result, f.m)
+	}
+	return result, nil
+}
+
+// extractWindow returns the w-bit digit of e starting at bit position pos.
+func extractWindow(e *big.Int, pos, w uint, mask uint64) uint64 {
+	var d uint64
+	for b := uint(0); b < w; b++ {
+		if e.Bit(int(pos+b)) == 1 {
+			d |= 1 << b
+		}
+	}
+	return d & mask
+}

@@ -1,0 +1,173 @@
+// Package netsim models the two communication environments of the paper's
+// evaluation and converts measured byte counts into communication time.
+//
+// The paper ran its short-distance experiments across a 64 Gbps switch
+// inside one cluster and its long-distance experiments over a 56 Kbps
+// dial-up modem between Chicago and Hoboken. Reproducing those physical
+// media is impossible here, so the repository substitutes a deterministic
+// link model (DESIGN.md §2): communication time for a one-way stream is
+//
+//	latency + transmitted_bytes · 8 / (bandwidth · efficiency)
+//
+// with an extra round-trip latency per request/response exchange. Because
+// the wire package meters exact byte counts, the model's serialization term
+// is exact; only propagation latency and framing efficiency are presets.
+// This preserves precisely the comparison the paper makes — computation
+// time versus communication time on a fast and on a very slow medium.
+//
+// For runs that want real wall-clock behaviour (the cmd/ tools), Throttle
+// wraps an io.ReadWriter and enforces the link's bandwidth with sleeps.
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Link describes a point-to-point communication medium.
+type Link struct {
+	// Name labels the environment in reports.
+	Name string
+	// BitsPerSecond is the raw signalling rate.
+	BitsPerSecond int64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Efficiency is the fraction of raw bandwidth available to payload
+	// after link framing (PPP/modem overhead, Ethernet headers…); in (0,1].
+	Efficiency float64
+}
+
+// Validate checks the link parameters.
+func (l Link) Validate() error {
+	if l.BitsPerSecond <= 0 {
+		return fmt.Errorf("netsim: link %q: bandwidth must be positive", l.Name)
+	}
+	if l.Efficiency <= 0 || l.Efficiency > 1 {
+		return fmt.Errorf("netsim: link %q: efficiency must be in (0,1], got %v", l.Name, l.Efficiency)
+	}
+	if l.Latency < 0 {
+		return fmt.Errorf("netsim: link %q: negative latency", l.Name)
+	}
+	return nil
+}
+
+// SerializationTime returns the time to clock bytes onto the medium,
+// excluding propagation latency.
+func (l Link) SerializationTime(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	bits := float64(bytes) * 8
+	sec := bits / (float64(l.BitsPerSecond) * l.Efficiency)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// OneWayTime returns the time for a one-way stream of bytes: one
+// propagation latency plus serialization.
+func (l Link) OneWayTime(bytes int64) time.Duration {
+	return l.Latency + l.SerializationTime(bytes)
+}
+
+// RoundTripTime returns the time for a request/response exchange carrying
+// reqBytes up and respBytes back.
+func (l Link) RoundTripTime(reqBytes, respBytes int64) time.Duration {
+	return 2*l.Latency + l.SerializationTime(reqBytes) + l.SerializationTime(respBytes)
+}
+
+// The two environments of the paper's evaluation. See the package comment
+// and DESIGN.md §2 for the substitution rationale.
+var (
+	// ShortDistance models the high-performance-cluster environment
+	// (client and server connected by the Stevens HPC switch). The hosts'
+	// gigabit NICs, not the 64 Gbps switch fabric, bound throughput.
+	ShortDistance = Link{
+		Name:          "short-distance (cluster switch)",
+		BitsPerSecond: 1_000_000_000,
+		Latency:       100 * time.Microsecond,
+		Efficiency:    0.95,
+	}
+
+	// LongDistance models the Chicago–Hoboken 56 Kbps dial-up connection.
+	// V.90 modems top out near 53 Kbps downstream with PPP overhead on
+	// top; 0.85 efficiency over the nominal 56 Kbps approximates that.
+	LongDistance = Link{
+		Name:          "long-distance (56Kbps dial-up)",
+		BitsPerSecond: 56_000,
+		Latency:       60 * time.Millisecond,
+		Efficiency:    0.85,
+	}
+
+	// Wireless models the decelerated multihop wireless medium the paper's
+	// introduction motivates (WiNSeC funding); used by examples/wireless.
+	Wireless = Link{
+		Name:          "wireless multihop (1 Mbps, 25ms/hop x 4)",
+		BitsPerSecond: 1_000_000,
+		Latency:       100 * time.Millisecond,
+		Efficiency:    0.7,
+	}
+)
+
+// Throttle wraps rw so that reads and writes are paced to the link's
+// bandwidth. It is intentionally coarse (sleep per call) — its purpose is
+// letting the cmd/ tools demonstrate modem-speed behaviour for small runs,
+// not packet-level fidelity.
+type Throttle struct {
+	rw   io.ReadWriter
+	link Link
+
+	mu sync.Mutex
+	// debt accumulates fractional pacing time so many small writes are
+	// paced as accurately as one large write.
+	debt time.Duration
+	// sleep is swapped out by tests.
+	sleep func(time.Duration)
+}
+
+// NewThrottle wraps rw with bandwidth pacing. Latency is applied once per
+// Write (coarse propagation model).
+func NewThrottle(rw io.ReadWriter, link Link) (*Throttle, error) {
+	if err := link.Validate(); err != nil {
+		return nil, err
+	}
+	return &Throttle{rw: rw, link: link, sleep: time.Sleep}, nil
+}
+
+// Write paces then forwards.
+func (t *Throttle) Write(p []byte) (int, error) {
+	t.pace(int64(len(p)), t.link.Latency)
+	return t.rw.Write(p)
+}
+
+// Read forwards then paces by the bytes actually read.
+func (t *Throttle) Read(p []byte) (int, error) {
+	n, err := t.rw.Read(p)
+	if n > 0 {
+		t.pace(int64(n), 0)
+	}
+	return n, err
+}
+
+// Close forwards when the wrapped stream is closable.
+func (t *Throttle) Close() error {
+	if c, ok := t.rw.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+func (t *Throttle) pace(bytes int64, latency time.Duration) {
+	d := t.link.SerializationTime(bytes) + latency
+	t.mu.Lock()
+	t.debt += d
+	var due time.Duration
+	if t.debt >= time.Millisecond {
+		due, t.debt = t.debt, 0
+	}
+	sleep := t.sleep
+	t.mu.Unlock()
+	if due > 0 {
+		sleep(due)
+	}
+}

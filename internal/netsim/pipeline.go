@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Pipeline computes the makespan of the paper's Section 3.2 batched
+// execution, in which three activities overlap: the client encrypting chunk
+// i+1, the link carrying chunk i, and the server folding chunk i-1 into its
+// partial product.
+//
+// The schedule follows the standard flow-shop recurrence for a 3-stage
+// pipeline with in-order, non-overlapping stages:
+//
+//	encDone[i]  = encDone[i-1] + enc[i]                 (client is sequential)
+//	txDone[i]   = max(encDone[i], txDone[i-1]) + ser[i] (link is sequential)
+//	srvDone[i]  = max(txDone[i] + latency, srvDone[i-1]) + srv[i]
+//
+// Propagation latency delays each chunk's arrival but — unlike
+// serialization — does not occupy the link, so it appears on the server
+// side of the recurrence.
+type Pipeline struct {
+	link Link
+
+	encDone time.Duration
+	txDone  time.Duration
+	srvDone time.Duration
+	chunks  int
+}
+
+// NewPipeline starts an empty schedule over the given link.
+func NewPipeline(link Link) (*Pipeline, error) {
+	if err := link.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pipeline{link: link}, nil
+}
+
+// AddChunk appends one chunk with the measured client encryption time, the
+// chunk's wire size in bytes, and the measured server processing time.
+func (p *Pipeline) AddChunk(enc time.Duration, wireBytes int64, srv time.Duration) error {
+	if enc < 0 || srv < 0 || wireBytes < 0 {
+		return fmt.Errorf("netsim: negative pipeline stage (enc=%v bytes=%d srv=%v)", enc, wireBytes, srv)
+	}
+	p.encDone += enc
+	tx := p.encDone
+	if p.txDone > tx {
+		tx = p.txDone
+	}
+	p.txDone = tx + p.link.SerializationTime(wireBytes)
+	arrive := p.txDone + p.link.Latency
+	if p.srvDone > arrive {
+		arrive = p.srvDone
+	}
+	p.srvDone = arrive + srv
+	p.chunks++
+	return nil
+}
+
+// Chunks reports how many chunks have been scheduled.
+func (p *Pipeline) Chunks() int { return p.chunks }
+
+// ClientBusy returns the total client encryption time scheduled so far.
+func (p *Pipeline) ClientBusy() time.Duration { return p.encDone }
+
+// Makespan returns the time at which the server finishes its last chunk.
+func (p *Pipeline) Makespan() time.Duration { return p.srvDone }
+
+// Finish completes the protocol: the server's response of respBytes travels
+// back and the client spends decrypt decrypting it. It returns the total
+// end-to-end online time.
+func (p *Pipeline) Finish(respBytes int64, decrypt time.Duration) time.Duration {
+	return p.srvDone + p.link.OneWayTime(respBytes) + decrypt
+}
+
+// SequentialTime returns the non-pipelined baseline for the same chunks:
+// all encryption, then all serialization plus one latency, then all server
+// work. This is what the unbatched protocol costs, and the quantity
+// Figure 4 compares against.
+type SequentialTally struct {
+	Enc       time.Duration
+	WireBytes int64
+	Srv       time.Duration
+}
+
+// Total returns the sequential makespan over the link, excluding the
+// response leg (add link.OneWayTime(respBytes)+decrypt just as Finish does).
+func (s SequentialTally) Total(link Link) time.Duration {
+	return s.Enc + link.OneWayTime(s.WireBytes) + s.Srv
+}

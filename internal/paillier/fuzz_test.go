@@ -1,0 +1,75 @@
+package paillier
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// FuzzParseCiphertext: hostile ciphertext bytes must either be rejected or
+// decrypt without panicking — the server parses client-supplied ciphertexts
+// on every protocol message, so this is its direct attack surface.
+func FuzzParseCiphertext(f *testing.F) {
+	sk, err := KeyGen(rand.Reader, 128)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pk := sk.Public()
+	good, err := pk.Encrypt(bigOne())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add(make([]byte, pk.CiphertextSize()))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ct, err := pk.ParseCiphertext(data)
+		if err != nil {
+			return
+		}
+		// Accepted ciphertexts must be byte-stable and safely usable.
+		if !bytes.Equal(ct.Bytes(), data) {
+			t.Fatal("accepted ciphertext re-encodes differently")
+		}
+		if _, err := sk.Decrypt(ct); err != nil {
+			// Rejection during decryption is fine; panics are not, and
+			// the fuzzer catches those by itself.
+			return
+		}
+		if _, err := pk.Add(ct, ct); err != nil {
+			t.Fatalf("accepted ciphertext unusable in Add: %v", err)
+		}
+	})
+}
+
+// FuzzPrivateKeyUnmarshal: arbitrary bytes must never panic the key parser.
+func FuzzPrivateKeyUnmarshal(f *testing.F) {
+	sk, err := KeyGen(rand.Reader, 128)
+	if err != nil {
+		f.Fatal(err)
+	}
+	raw, err := sk.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add([]byte{})
+	f.Add([]byte("PSSK"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var k PrivateKey
+		if err := k.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// A key that parses must at least round-trip one encryption.
+		ct, err := k.Public().Encrypt(bigOne())
+		if err != nil {
+			t.Fatalf("parsed key cannot encrypt: %v", err)
+		}
+		if _, err := k.Decrypt(ct); err != nil {
+			t.Fatalf("parsed key cannot decrypt its own ciphertext: %v", err)
+		}
+	})
+}
+
+func bigOne() *big.Int { return big.NewInt(1) }

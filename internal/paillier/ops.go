@@ -1,0 +1,138 @@
+package paillier
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"privstats/internal/mathx"
+)
+
+// This file implements the homomorphic operations the selected-sum protocol
+// relies on (paper §2): ciphertext addition is multiplication mod N², and
+// plaintext-scalar multiplication is exponentiation mod N².
+
+// Add returns an encryption of a+b (mod N): E(a)·E(b) mod N².
+func (pk *PublicKey) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := pk.checkCiphertext(a); err != nil {
+		return nil, err
+	}
+	if err := pk.checkCiphertext(b); err != nil {
+		return nil, err
+	}
+	c := new(big.Int).Mul(a.c, b.c)
+	c.Mod(c, pk.NSquared)
+	return &Ciphertext{c: c, byteLen: pk.byteLen}, nil
+}
+
+// AddPlain returns an encryption of m(ct)+k (mod N) without decrypting:
+// ct · g^k = ct · (1 + k·N) mod N².
+func (pk *PublicKey) AddPlain(ct *Ciphertext, k *big.Int) (*Ciphertext, error) {
+	if err := pk.checkCiphertext(ct); err != nil {
+		return nil, err
+	}
+	if k == nil {
+		return nil, errors.New("paillier: nil scalar")
+	}
+	km := new(big.Int).Mod(k, pk.N) // accept any integer, reduce into Z_N
+	gk := new(big.Int).Mul(km, pk.N)
+	gk.Add(gk, mathx.One)
+	c := gk.Mul(gk, ct.c)
+	c.Mod(c, pk.NSquared)
+	return &Ciphertext{c: c, byteLen: pk.byteLen}, nil
+}
+
+// ScalarMul returns an encryption of k·m(ct) (mod N): ct^k mod N².
+// This is the server's core operation in the selected-sum protocol, where k
+// is a database value x_i. Negative k is mapped to N-|k| mod N (i.e. the
+// additive inverse), enabling homomorphic subtraction.
+func (pk *PublicKey) ScalarMul(ct *Ciphertext, k *big.Int) (*Ciphertext, error) {
+	if err := pk.checkCiphertext(ct); err != nil {
+		return nil, err
+	}
+	if k == nil {
+		return nil, errors.New("paillier: nil scalar")
+	}
+	km := new(big.Int).Mod(k, pk.N)
+	c := new(big.Int).Exp(ct.c, km, pk.NSquared)
+	return &Ciphertext{c: c, byteLen: pk.byteLen}, nil
+}
+
+// Neg returns an encryption of -m(ct) mod N.
+func (pk *PublicKey) Neg(ct *Ciphertext) (*Ciphertext, error) {
+	if err := pk.checkCiphertext(ct); err != nil {
+		return nil, err
+	}
+	inv, err := mathx.ModInverse(ct.c, pk.NSquared)
+	if err != nil {
+		// A non-invertible ciphertext shares a factor with N — it would
+		// factor the key. Treat as malformed input.
+		return nil, fmt.Errorf("%w: not a unit mod N²", ErrCiphertextForm)
+	}
+	return &Ciphertext{c: inv, byteLen: pk.byteLen}, nil
+}
+
+// Sub returns an encryption of m(a) - m(b) mod N.
+func (pk *PublicKey) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	nb, err := pk.Neg(b)
+	if err != nil {
+		return nil, err
+	}
+	return pk.Add(a, nb)
+}
+
+// Rerandomize returns a fresh encryption of the same plaintext,
+// statistically unlinkable to ct: ct · E(0) mod N².
+func (pk *PublicKey) Rerandomize(ct *Ciphertext) (*Ciphertext, error) {
+	zero, err := pk.Encrypt(mathx.Zero)
+	if err != nil {
+		return nil, err
+	}
+	return pk.Add(ct, zero)
+}
+
+// WeightedSum folds a ciphertext vector against a plaintext weight vector:
+// Π cts[i]^weights[i] = E(Σ weights[i]·m_i). It is the single-shot form of
+// the server's selected-sum loop, used by the SPFE layer for weighted
+// statistics. Vectors must have equal length.
+func (pk *PublicKey) WeightedSum(cts []*Ciphertext, weights []*big.Int) (*Ciphertext, error) {
+	if len(cts) != len(weights) {
+		return nil, fmt.Errorf("paillier: %d ciphertexts vs %d weights", len(cts), len(weights))
+	}
+	acc := new(big.Int).Set(mathx.One) // E(0; r=1); rerandomized by the folds
+	tmp := new(big.Int)
+	for i, ct := range cts {
+		if err := pk.checkCiphertext(ct); err != nil {
+			return nil, fmt.Errorf("paillier: ciphertext %d: %w", i, err)
+		}
+		w := weights[i]
+		if w == nil {
+			return nil, fmt.Errorf("paillier: weight %d is nil", i)
+		}
+		if w.Sign() == 0 {
+			continue
+		}
+		wm := tmp.Mod(w, pk.N)
+		p := new(big.Int).Exp(ct.c, wm, pk.NSquared)
+		acc.Mul(acc, p)
+		acc.Mod(acc, pk.NSquared)
+	}
+	return &Ciphertext{c: acc, byteLen: pk.byteLen}, nil
+}
+
+// ParseCiphertext decodes a fixed-width encoding produced by
+// Ciphertext.Bytes, rejecting out-of-range values.
+func (pk *PublicKey) ParseCiphertext(b []byte) (*Ciphertext, error) {
+	if len(b) != pk.byteLen {
+		return nil, fmt.Errorf("%w: got %d bytes, want %d", ErrCiphertextForm, len(b), pk.byteLen)
+	}
+	v := new(big.Int).SetBytes(b)
+	ct := &Ciphertext{c: v, byteLen: pk.byteLen}
+	if err := pk.checkCiphertext(ct); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+// CiphertextSize returns the fixed wire width of one encoded ciphertext.
+func (pk *PublicKey) CiphertextSize() int { return pk.byteLen }

@@ -1,0 +1,291 @@
+// Package paillier implements the Paillier public-key cryptosystem
+// (Paillier, EUROCRYPT '99), the additively homomorphic scheme used by the
+// paper's private selected-sum protocol.
+//
+// The implementation uses the standard g = n+1 simplification, which makes
+// encryption a single modular exponentiation:
+//
+//	E(m; r) = (1 + m·n) · r^n  mod n²
+//
+// Decryption uses the Chinese Remainder Theorem over p and q by default
+// (roughly 3–4× faster than the textbook λ/μ path); the textbook path is
+// retained as DecryptNaive for the implementation-constant ablation
+// (experiment E9 in DESIGN.md).
+//
+// Key sizes: the paper uses 512-bit keys ("Cryptographic keys are 512
+// bits"), i.e. a 512-bit modulus n. KeyGen takes the modulus bit length.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"privstats/internal/mathx"
+)
+
+// MinModulusBits is the smallest modulus KeyGen accepts. Far below any
+// secure size — small keys are allowed so tests stay fast — but large enough
+// that the arithmetic identities hold and 32-bit data sums do not overflow
+// the plaintext space.
+const MinModulusBits = 64
+
+// Common errors.
+var (
+	ErrMessageRange   = errors.New("paillier: message outside plaintext space [0, n)")
+	ErrCiphertextForm = errors.New("paillier: malformed ciphertext")
+	ErrKeyMismatch    = errors.New("paillier: ciphertext does not belong to this key")
+)
+
+// PublicKey holds the Paillier public parameters.
+type PublicKey struct {
+	// N is the RSA-style modulus p·q; the plaintext space is Z_N.
+	N *big.Int
+	// NSquared is N², the ciphertext modulus (cached).
+	NSquared *big.Int
+
+	byteLen int // ceil(bits(N²)/8), fixed wire width of a ciphertext
+}
+
+// PrivateKey holds the Paillier private parameters along with the
+// precomputed CRT values that make decryption fast.
+type PrivateKey struct {
+	PublicKey
+
+	// P and Q are the prime factors of N.
+	P, Q *big.Int
+	// Lambda is lcm(P-1, Q-1) and Mu = L(g^Lambda mod N²)^-1 mod N;
+	// these drive the textbook decryption path.
+	Lambda, Mu *big.Int
+
+	// CRT decryption state: for x = p or q,
+	//   m_x = L_x(c^(x-1) mod x²) · h_x  mod x
+	// with L_x(u) = (u-1)/x and h_x = L_x(g^(x-1) mod x²)^-1 mod x,
+	// recombined with crt.
+	pSquared, qSquared *big.Int
+	pMinus1, qMinus1   *big.Int
+	hp, hq             *big.Int
+	crt                *mathx.CRT
+}
+
+// KeyGen generates a Paillier key pair whose modulus N has exactly
+// modulusBits bits, reading randomness from r (pass crypto/rand.Reader).
+func KeyGen(r io.Reader, modulusBits int) (*PrivateKey, error) {
+	if modulusBits < MinModulusBits {
+		return nil, fmt.Errorf("paillier: modulus must be at least %d bits, got %d", MinModulusBits, modulusBits)
+	}
+	if modulusBits%2 != 0 {
+		return nil, fmt.Errorf("paillier: modulus bit length must be even, got %d", modulusBits)
+	}
+	p, q, err := mathx.GeneratePrimePair(r, modulusBits/2)
+	if err != nil {
+		return nil, fmt.Errorf("paillier: generating primes: %w", err)
+	}
+	return newPrivateKey(p, q)
+}
+
+// newPrivateKey derives all cached values from the prime factors.
+func newPrivateKey(p, q *big.Int) (*PrivateKey, error) {
+	n := new(big.Int).Mul(p, q)
+	n2 := new(big.Int).Mul(n, n)
+
+	pm1 := new(big.Int).Sub(p, mathx.One)
+	qm1 := new(big.Int).Sub(q, mathx.One)
+	lambda := mathx.Lcm(pm1, qm1)
+
+	// With g = n+1: g^λ mod n² = 1 + λ·n, so L(g^λ) = λ mod n and
+	// μ = λ^-1 mod n.
+	mu, err := mathx.ModInverse(new(big.Int).Mod(lambda, n), n)
+	if err != nil {
+		return nil, fmt.Errorf("paillier: λ not invertible mod n (gcd(n,φ)≠1): %w", err)
+	}
+
+	crt, err := mathx.NewCRT(p, q)
+	if err != nil {
+		return nil, fmt.Errorf("paillier: building CRT state: %w", err)
+	}
+
+	priv := &PrivateKey{
+		PublicKey: PublicKey{
+			N:        n,
+			NSquared: n2,
+			byteLen:  (n2.BitLen() + 7) / 8,
+		},
+		P:        p,
+		Q:        q,
+		Lambda:   lambda,
+		Mu:       mu,
+		pSquared: new(big.Int).Mul(p, p),
+		qSquared: new(big.Int).Mul(q, q),
+		pMinus1:  pm1,
+		qMinus1:  qm1,
+		crt:      crt,
+	}
+
+	// h_x = L_x((n+1)^(x-1) mod x²)^-1 mod x. With g = n+1,
+	// (1+n)^(x-1) mod x² = 1 + (x-1)·n mod x², so
+	// L_x = ((x-1)·n mod x²)/x — computed directly below for clarity.
+	hp, err := decryptionConstant(n, p, priv.pSquared, pm1)
+	if err != nil {
+		return nil, fmt.Errorf("paillier: deriving hp: %w", err)
+	}
+	hq, err := decryptionConstant(n, q, priv.qSquared, qm1)
+	if err != nil {
+		return nil, fmt.Errorf("paillier: deriving hq: %w", err)
+	}
+	priv.hp, priv.hq = hp, hq
+	return priv, nil
+}
+
+// decryptionConstant returns L_x(g^(x-1) mod x²)^-1 mod x for g = n+1.
+func decryptionConstant(n, x, xSquared, xm1 *big.Int) (*big.Int, error) {
+	g := new(big.Int).Add(n, mathx.One)
+	u := new(big.Int).Exp(g, xm1, xSquared)
+	lx, err := lFunc(u, x)
+	if err != nil {
+		return nil, err
+	}
+	return mathx.ModInverse(lx, x)
+}
+
+// lFunc is L_x(u) = (u-1)/x over the integers; u ≡ 1 (mod x) must hold.
+func lFunc(u, x *big.Int) (*big.Int, error) {
+	return mathx.L(u, x)
+}
+
+// Ciphertext is a Paillier ciphertext: an element of Z*_{N²}. Values are
+// immutable after creation.
+type Ciphertext struct {
+	c       *big.Int
+	byteLen int
+}
+
+// Value returns a copy of the underlying group element.
+func (ct *Ciphertext) Value() *big.Int { return new(big.Int).Set(ct.c) }
+
+// Bytes returns the fixed-width big-endian encoding of the ciphertext.
+func (ct *Ciphertext) Bytes() []byte {
+	return ct.c.FillBytes(make([]byte, ct.byteLen))
+}
+
+// String implements fmt.Stringer without dumping kilobits of hex.
+func (ct *Ciphertext) String() string {
+	return fmt.Sprintf("paillier.Ciphertext(%d bits)", ct.c.BitLen())
+}
+
+// Encrypt returns a randomized encryption of m, which must be in [0, N).
+func (pk *PublicKey) Encrypt(m *big.Int) (*Ciphertext, error) {
+	r, err := mathx.RandUnit(rand.Reader, pk.N)
+	if err != nil {
+		return nil, fmt.Errorf("paillier: sampling encryption randomness: %w", err)
+	}
+	return pk.EncryptWithNonce(m, r)
+}
+
+// EncryptWithNonce encrypts m with caller-supplied randomness r ∈ Z*_N.
+// It is exposed for deterministic tests and for protocol components that
+// manage their own randomness pools; r must never be reused for different
+// messages that an adversary could compare.
+func (pk *PublicKey) EncryptWithNonce(m, r *big.Int) (*Ciphertext, error) {
+	if err := pk.checkMessage(m); err != nil {
+		return nil, err
+	}
+	if r == nil || r.Sign() <= 0 || r.Cmp(pk.N) >= 0 {
+		return nil, errors.New("paillier: nonce must be in [1, N)")
+	}
+	rn := new(big.Int).Exp(r, pk.N, pk.NSquared)
+	return pk.assembleCiphertext(m, rn), nil
+}
+
+// EncryptWithRandomizer encrypts m using a precomputed randomizer
+// rn = r^N mod N² (see RandomizerPool). This skips the exponentiation and
+// reduces encryption to two modular multiplications.
+func (pk *PublicKey) EncryptWithRandomizer(m, rn *big.Int) (*Ciphertext, error) {
+	if err := pk.checkMessage(m); err != nil {
+		return nil, err
+	}
+	if rn == nil || rn.Sign() <= 0 || rn.Cmp(pk.NSquared) >= 0 {
+		return nil, errors.New("paillier: randomizer must be in [1, N²)")
+	}
+	return pk.assembleCiphertext(m, rn), nil
+}
+
+// assembleCiphertext computes (1 + m·N)·rn mod N².
+func (pk *PublicKey) assembleCiphertext(m, rn *big.Int) *Ciphertext {
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, mathx.One) // 1 + m·N < N² always, no reduction needed
+	gm.Mul(gm, rn)
+	gm.Mod(gm, pk.NSquared)
+	return &Ciphertext{c: gm, byteLen: pk.byteLen}
+}
+
+func (pk *PublicKey) checkMessage(m *big.Int) error {
+	if m == nil || m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return fmt.Errorf("%w: m=%v", ErrMessageRange, m)
+	}
+	return nil
+}
+
+// checkCiphertext validates that ct is a plausible ciphertext under pk.
+func (pk *PublicKey) checkCiphertext(ct *Ciphertext) error {
+	if ct == nil || ct.c == nil {
+		return fmt.Errorf("%w: nil", ErrCiphertextForm)
+	}
+	if ct.c.Sign() <= 0 || ct.c.Cmp(pk.NSquared) >= 0 {
+		return fmt.Errorf("%w: value outside (0, N²)", ErrCiphertextForm)
+	}
+	return nil
+}
+
+// Decrypt recovers the plaintext of ct using CRT-accelerated decryption.
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
+	if err := sk.checkCiphertext(ct); err != nil {
+		return nil, err
+	}
+	// m_p = L_p(c^(p-1) mod p²)·h_p mod p
+	cp := new(big.Int).Mod(ct.c, sk.pSquared)
+	cp.Exp(cp, sk.pMinus1, sk.pSquared)
+	lp, err := lFunc(cp, sk.P)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrKeyMismatch, err)
+	}
+	mp := lp.Mul(lp, sk.hp)
+	mp.Mod(mp, sk.P)
+
+	cq := new(big.Int).Mod(ct.c, sk.qSquared)
+	cq.Exp(cq, sk.qMinus1, sk.qSquared)
+	lq, err := lFunc(cq, sk.Q)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrKeyMismatch, err)
+	}
+	mq := lq.Mul(lq, sk.hq)
+	mq.Mod(mq, sk.Q)
+
+	return sk.crt.Combine(mp, mq), nil
+}
+
+// DecryptNaive recovers the plaintext with the textbook formula
+// m = L(c^λ mod N²)·μ mod N. It is retained for the ablation experiment
+// comparing implementation constants and as a cross-check oracle in tests.
+func (sk *PrivateKey) DecryptNaive(ct *Ciphertext) (*big.Int, error) {
+	if err := sk.checkCiphertext(ct); err != nil {
+		return nil, err
+	}
+	u := new(big.Int).Exp(ct.c, sk.Lambda, sk.NSquared)
+	l, err := mathx.L(u, sk.N)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrKeyMismatch, err)
+	}
+	m := l.Mul(l, sk.Mu)
+	return m.Mod(m, sk.N), nil
+}
+
+// Public returns the public half of the key.
+func (sk *PrivateKey) Public() *PublicKey { return &sk.PublicKey }
+
+// Equal reports whether two public keys have the same modulus.
+func (pk *PublicKey) Equal(other *PublicKey) bool {
+	return other != nil && pk.N.Cmp(other.N) == 0
+}

@@ -1,0 +1,126 @@
+package paillier
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func TestBitStorePersistRoundTrip(t *testing.T) {
+	sk := testKey(t, 128)
+	store := NewBitStore(sk.Public())
+	if err := store.Fill(5, 7); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := store.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBitStore(&buf, sk.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Remaining(0) != 5 || back.Remaining(1) != 7 {
+		t.Fatalf("restored stock = (%d,%d)", back.Remaining(0), back.Remaining(1))
+	}
+	// Every restored ciphertext decrypts to the right bit.
+	for i := 0; i < 5; i++ {
+		ct, err := back.DrawBit(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err := sk.Decrypt(ct); err != nil || v.Sign() != 0 {
+			t.Fatalf("restored E(0) decrypts to %v (err %v)", v, err)
+		}
+	}
+	for i := 0; i < 7; i++ {
+		ct, err := back.DrawBit(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err := sk.Decrypt(ct); err != nil || v.Int64() != 1 {
+			t.Fatalf("restored E(1) decrypts to %v (err %v)", v, err)
+		}
+	}
+}
+
+func TestBitStorePersistKeyBinding(t *testing.T) {
+	sk1 := testKey(t, 128)
+	sk2 := testKey(t, 256)
+	store := NewBitStore(sk1.Public())
+	if err := store.Fill(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := store.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBitStore(&buf, sk2.Public()); !errors.Is(err, ErrStoreKeyMismatch) {
+		t.Errorf("wrong key: err = %v, want ErrStoreKeyMismatch", err)
+	}
+}
+
+func TestBitStorePersistRejectsCorruption(t *testing.T) {
+	sk := testKey(t, 128)
+	store := NewBitStore(sk.Public())
+	if err := store.Fill(3, 3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := store.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	for _, pos := range []int{0, 6, 10, 45, 70, len(good) - 1} {
+		bad := append([]byte{}, good...)
+		bad[pos] ^= 0x20
+		if _, err := ReadBitStore(bytes.NewReader(bad), sk.Public()); err == nil {
+			t.Errorf("bit flip at %d accepted", pos)
+		}
+	}
+	for _, cut := range []int{3, 30, len(good) / 2, len(good) - 2} {
+		if _, err := ReadBitStore(bytes.NewReader(good[:cut]), sk.Public()); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBitStoreSaveLoadFile(t *testing.T) {
+	sk := testKey(t, 128)
+	store := NewBitStore(sk.Public())
+	if err := store.Fill(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "preproc.psbs")
+	if err := store.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBitStore(path, sk.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Remaining(0) != 4 || back.Remaining(1) != 4 {
+		t.Errorf("stock = (%d,%d)", back.Remaining(0), back.Remaining(1))
+	}
+	if _, err := LoadBitStore(filepath.Join(t.TempDir(), "missing"), sk.Public()); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestBitStorePersistEmpty(t *testing.T) {
+	sk := testKey(t, 128)
+	store := NewBitStore(sk.Public())
+	var buf bytes.Buffer
+	if _, err := store.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBitStore(&buf, sk.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Remaining(0) != 0 || back.Remaining(1) != 0 {
+		t.Error("empty store round trip gained stock")
+	}
+}

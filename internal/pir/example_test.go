@@ -1,0 +1,27 @@
+package pir_test
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"privstats/internal/database"
+	"privstats/internal/paillier"
+	"privstats/internal/pir"
+)
+
+// ExampleRetrieve fetches one database element without revealing which,
+// with O(√n) communication.
+func ExampleRetrieve() {
+	table := database.New([]uint32{11, 22, 33, 44, 55, 66, 77, 88, 99})
+	key, err := paillier.KeyGen(rand.Reader, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := pir.Retrieve(paillier.SchemeKey{SK: key}, table, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("element 4:", v)
+	// Output: element 4: 55
+}

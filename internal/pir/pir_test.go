@@ -1,0 +1,191 @@
+package pir
+
+import (
+	"crypto/rand"
+	"sync"
+	"testing"
+
+	"privstats/internal/database"
+	"privstats/internal/homomorphic"
+	"privstats/internal/paillier"
+)
+
+var (
+	tkOnce sync.Once
+	tkKey  *paillier.PrivateKey
+	tkErr  error
+)
+
+func testKey(t testing.TB) homomorphic.PrivateKey {
+	t.Helper()
+	tkOnce.Do(func() { tkKey, tkErr = paillier.KeyGen(rand.Reader, 256) })
+	if tkErr != nil {
+		t.Fatalf("KeyGen: %v", tkErr)
+	}
+	return paillier.SchemeKey{SK: tkKey}
+}
+
+func TestLayout(t *testing.T) {
+	cases := []struct{ n, rows, cols int }{
+		{1, 1, 1}, {4, 2, 2}, {5, 2, 3}, {9, 3, 3}, {10, 3, 4}, {100, 10, 10},
+	}
+	for _, c := range cases {
+		l, err := NewLayout(c.n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", c.n, err)
+		}
+		if l.Rows != c.rows || l.Cols != c.cols {
+			t.Errorf("n=%d: layout %dx%d, want %dx%d", c.n, l.Rows, l.Cols, c.rows, c.cols)
+		}
+		if l.Rows*l.Cols < c.n {
+			t.Errorf("n=%d: matrix too small", c.n)
+		}
+	}
+	if _, err := NewLayout(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestLayoutPosition(t *testing.T) {
+	l, _ := NewLayout(10) // 3x4
+	row, col, err := l.Position(7)
+	if err != nil || row != 1 || col != 3 {
+		t.Errorf("Position(7) = (%d,%d,%v)", row, col, err)
+	}
+	if _, _, err := l.Position(10); err == nil {
+		t.Error("out of range index should fail")
+	}
+	if _, _, err := l.Position(-1); err == nil {
+		t.Error("negative index should fail")
+	}
+}
+
+func TestRetrieveEveryElement(t *testing.T) {
+	sk := testKey(t)
+	table, err := database.Generate(23, database.DistUniform, 77) // ragged 5x5
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 23; i++ {
+		got, err := Retrieve(sk, table, i)
+		if err != nil {
+			t.Fatalf("Retrieve(%d): %v", i, err)
+		}
+		if got != table.Value(i) {
+			t.Errorf("element %d: got %d, want %d", i, got, table.Value(i))
+		}
+	}
+}
+
+func TestRetrieveZeroValues(t *testing.T) {
+	sk := testKey(t)
+	table := database.New(make([]uint32, 9)) // all zeros
+	got, err := Retrieve(sk, table, 4)
+	if err != nil || got != 0 {
+		t.Errorf("zero retrieval = %d (err %v)", got, err)
+	}
+}
+
+func TestRetrieveSingleElement(t *testing.T) {
+	sk := testKey(t)
+	table := database.New([]uint32{0xCAFEBABE})
+	got, err := Retrieve(sk, table, 0)
+	if err != nil || got != 0xCAFEBABE {
+		t.Errorf("got %x (err %v)", got, err)
+	}
+}
+
+func TestSublinearCommunication(t *testing.T) {
+	// The point of PIR: wire bytes grow as √n, far below the selected-sum
+	// protocol's n ciphertexts.
+	sk := testKey(t)
+	pk := sk.PublicKey()
+	n := 400 // 20x20
+	layout, err := NewLayout(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQuery(pk, layout, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, _ := database.Generate(n, database.DistSmall, 5)
+	ans, err := Process(pk, table, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := q.UplinkBytes(pk)
+	down := ans.DownlinkBytes(pk)
+	linear := int64(n) * int64(pk.CiphertextSize())
+	if up+down >= linear/4 {
+		t.Errorf("PIR moved %d bytes, linear protocol %d — not sublinear enough", up+down, linear)
+	}
+	got, err := Extract(sk, layout, q, ans, 123)
+	if err != nil || got != table.Value(123) {
+		t.Errorf("retrieved %d (err %v), want %d", got, err, table.Value(123))
+	}
+}
+
+func TestQueriesAreIndistinguishable(t *testing.T) {
+	// Two queries for different columns must not share any ciphertext
+	// bytes (randomized encryption); the server sees only ciphertexts.
+	sk := testKey(t)
+	pk := sk.PublicKey()
+	layout, _ := NewLayout(16)
+	q1, err := NewQuery(pk, layout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := NewQuery(pk, layout, 0) // same element, fresh randomness
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range q1.Selectors {
+		if string(q1.Selectors[j].Bytes()) == string(q2.Selectors[j].Bytes()) {
+			t.Fatalf("selector %d repeated across queries", j)
+		}
+	}
+}
+
+func TestProcessValidation(t *testing.T) {
+	sk := testKey(t)
+	pk := sk.PublicKey()
+	table, _ := database.Generate(9, database.DistSmall, 1)
+	layout, _ := NewLayout(9)
+	q, err := NewQuery(pk, layout, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongTable, _ := database.Generate(10, database.DistSmall, 1)
+	if _, err := Process(pk, wrongTable, q); err == nil {
+		t.Error("layout/table mismatch should fail")
+	}
+	if _, err := Process(nil, table, q); err == nil {
+		t.Error("nil key should fail")
+	}
+	if _, err := Process(pk, nil, q); err == nil {
+		t.Error("nil table should fail")
+	}
+	short := &Query{Layout: layout, Selectors: q.Selectors[:1]}
+	if _, err := Process(pk, table, short); err == nil {
+		t.Error("short selector vector should fail")
+	}
+	// Extract with a truncated answer.
+	ans, err := Process(pk, table, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Answer{Rows: ans.Rows[:1]}
+	if _, err := Extract(sk, layout, q, bad, 2); err == nil {
+		t.Error("short answer should fail")
+	}
+	if _, err := NewQuery(pk, layout, 9); err == nil {
+		t.Error("out-of-range query index should fail")
+	}
+	if _, err := NewQuery(nil, layout, 0); err == nil {
+		t.Error("nil key query should fail")
+	}
+	if _, err := Retrieve(nil, table, 0); err == nil {
+		t.Error("nil key retrieve should fail")
+	}
+}

@@ -1,0 +1,223 @@
+package selectedsum
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"privstats/internal/database"
+	"privstats/internal/homomorphic"
+	"privstats/internal/wire"
+)
+
+// This file is the transport-facing form of the protocol: an actual
+// client/server exchange over a framed connection (TCP in the cmd tools,
+// net.Pipe in tests, optionally wrapped in a netsim.Throttle). The
+// in-process Run in run.go is the measurement engine; this is the deployable
+// one. Both share ServerSession and BitEncryptor, so they cannot drift.
+
+// Serve answers exactly one selected-sum session on conn: it reads the
+// Hello, absorbs index chunks until MsgDone, and replies with the encrypted
+// sum. Protocol violations are reported to the peer via MsgError before
+// returning the error.
+func Serve(conn *wire.Conn, table *database.Table) error {
+	if table == nil {
+		return errors.New("selectedsum: nil table")
+	}
+	// fail reports a protocol error to the peer. The client may still be
+	// streaming its index vector, and on an unbuffered transport
+	// (net.Pipe) writing the error against an in-flight chunk would
+	// deadlock — so the error is written concurrently while a drain
+	// goroutine keeps consuming the client's frames. The drain goroutine
+	// exits when the client stops sending (it blocks in Recv until the
+	// connection closes, which the caller does after Serve returns).
+	fail := func(err error) error {
+		sent := make(chan struct{})
+		go func() {
+			defer close(sent)
+			_ = conn.SendError(err.Error())
+		}()
+		go func() {
+			for {
+				f, rerr := conn.Recv()
+				if rerr != nil || f.Type == wire.MsgDone || f.Type == wire.MsgError {
+					return
+				}
+			}
+		}()
+		<-sent
+		return err
+	}
+
+	f, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("selectedsum: reading hello: %w", err)
+	}
+	if f.Type != wire.MsgHello {
+		return fail(fmt.Errorf("selectedsum: expected hello, got message type %#x", byte(f.Type)))
+	}
+	hello, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		return fail(err)
+	}
+	if hello.Version != wire.Version {
+		return fail(fmt.Errorf("selectedsum: unsupported protocol version %d", hello.Version))
+	}
+	pk, err := homomorphic.ParsePublicKey(hello.Scheme, hello.PublicKey)
+	if err != nil {
+		return fail(err)
+	}
+	srv, err := NewServerSession(pk, table, hello.VectorLen)
+	if err != nil {
+		return fail(err)
+	}
+
+	width := pk.CiphertextSize()
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("selectedsum: reading chunk: %w", err)
+		}
+		switch f.Type {
+		case wire.MsgIndexChunk:
+			chunk, err := wire.DecodeIndexChunk(f.Payload, width)
+			if err != nil {
+				return fail(err)
+			}
+			if err := srv.Absorb(chunk); err != nil {
+				return fail(err)
+			}
+		case wire.MsgDone:
+			sumCt, err := srv.Finalize(nil)
+			if err != nil {
+				return fail(err)
+			}
+			if err := conn.Send(wire.MsgSum, sumCt.Bytes()); err != nil {
+				return fmt.Errorf("selectedsum: sending sum: %w", err)
+			}
+			return nil
+		case wire.MsgError:
+			return wire.DecodeError(f.Payload)
+		default:
+			return fail(fmt.Errorf("selectedsum: unexpected message type %#x mid-session", byte(f.Type)))
+		}
+	}
+}
+
+// VectorSource yields the client's encrypted protocol vector entry by
+// entry. The 0/1 selection of the base protocol and the integer weight
+// vectors of the SPFE extensions both implement it, so the same transport
+// client serves both.
+type VectorSource interface {
+	// Len is the vector length n (must match the server's table).
+	Len() int
+	// EncryptAt returns a fresh encryption of entry i.
+	EncryptAt(i int) (homomorphic.Ciphertext, error)
+}
+
+// selectionSource adapts a 0/1 selection plus a bit encryptor.
+type selectionSource struct {
+	sel *database.Selection
+	enc BitEncryptor
+}
+
+func (s selectionSource) Len() int { return s.sel.Len() }
+func (s selectionSource) EncryptAt(i int) (homomorphic.Ciphertext, error) {
+	return s.enc.EncryptBit(s.sel.Bit(i))
+}
+
+// Query runs the client side of one session over conn: it streams the
+// encrypted selection in chunks of chunkSize (0 = single chunk) and returns
+// the decrypted sum. pool, when non-nil, supplies preprocessed bit
+// encryptions.
+func Query(conn *wire.Conn, sk homomorphic.PrivateKey, sel *database.Selection, chunkSize int, pool homomorphic.EncryptorPool) (*big.Int, error) {
+	if sk == nil {
+		return nil, errors.New("selectedsum: nil private key")
+	}
+	var enc BitEncryptor = Online{PK: sk.PublicKey()}
+	if pool != nil {
+		enc = Pooled{Pool: pool}
+	}
+	return QueryVector(conn, sk, selectionSource{sel: sel, enc: enc}, chunkSize)
+}
+
+// QueryVector is Query over an arbitrary encrypted-vector source — the
+// weighted-sum generalization of the paper's Section 2 ("integer weights in
+// some larger range could be used"). The server is oblivious to the
+// difference: it folds whatever ciphertexts arrive.
+func QueryVector(conn *wire.Conn, sk homomorphic.PrivateKey, src VectorSource, chunkSize int) (*big.Int, error) {
+	if sk == nil {
+		return nil, errors.New("selectedsum: nil private key")
+	}
+	if src == nil {
+		return nil, errors.New("selectedsum: nil vector source")
+	}
+	pk := sk.PublicKey()
+	n := src.Len()
+	if chunkSize <= 0 || chunkSize > n {
+		chunkSize = n
+	}
+
+	keyBytes, err := pk.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("selectedsum: marshaling public key: %w", err)
+	}
+	hello := wire.Hello{
+		Version:   wire.Version,
+		Scheme:    pk.SchemeName(),
+		PublicKey: keyBytes,
+		VectorLen: uint64(n),
+		ChunkLen:  uint32(chunkSize),
+	}
+	if err := conn.Send(wire.MsgHello, hello.Encode()); err != nil {
+		return nil, fmt.Errorf("selectedsum: sending hello: %w", err)
+	}
+
+	width := pk.CiphertextSize()
+	for lo := 0; lo < n; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		body := make([]byte, 0, (hi-lo)*width)
+		for i := lo; i < hi; i++ {
+			ct, err := src.EncryptAt(i)
+			if err != nil {
+				return nil, fmt.Errorf("selectedsum: encrypting entry %d: %w", i, err)
+			}
+			b := ct.Bytes()
+			if len(b) != width {
+				return nil, fmt.Errorf("selectedsum: ciphertext width %d, session expects %d", len(b), width)
+			}
+			body = append(body, b...)
+		}
+		chunk := &wire.IndexChunk{Offset: uint64(lo), Ciphertexts: body, Width: width}
+		if err := conn.Send(wire.MsgIndexChunk, chunk.Encode()); err != nil {
+			return nil, fmt.Errorf("selectedsum: sending chunk at %d: %w", lo, err)
+		}
+	}
+	if err := conn.Send(wire.MsgDone, nil); err != nil {
+		return nil, fmt.Errorf("selectedsum: sending done: %w", err)
+	}
+
+	f, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("selectedsum: reading sum: %w", err)
+	}
+	switch f.Type {
+	case wire.MsgSum:
+		ct, err := pk.ParseCiphertext(f.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("selectedsum: parsing sum ciphertext: %w", err)
+		}
+		sum, err := sk.Decrypt(ct)
+		if err != nil {
+			return nil, fmt.Errorf("selectedsum: decrypting sum: %w", err)
+		}
+		return sum, nil
+	case wire.MsgError:
+		return nil, wire.DecodeError(f.Payload)
+	default:
+		return nil, fmt.Errorf("selectedsum: expected sum, got message type %#x", byte(f.Type))
+	}
+}

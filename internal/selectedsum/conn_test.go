@@ -1,0 +1,191 @@
+package selectedsum
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"privstats/internal/database"
+	"privstats/internal/wire"
+)
+
+// servePair wires a client and server over net.Pipe and runs Serve in the
+// background, returning the client conn and a channel with Serve's error.
+func servePair(t *testing.T, table *database.Table) (*wire.Conn, chan error) {
+	t.Helper()
+	a, b := net.Pipe()
+	clientConn := wire.NewConn(a)
+	serverConn := wire.NewConn(b)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Serve(serverConn, table)
+		serverConn.Close()
+	}()
+	t.Cleanup(func() { clientConn.Close() })
+	return clientConn, errc
+}
+
+func TestServeQueryEndToEnd(t *testing.T) {
+	sk := testKey(t)
+	table, sel, want := fixture(t, 120, 60)
+	conn, errc := servePair(t, table)
+
+	sum, err := Query(conn, sk, sel, 0, nil)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if sum.Cmp(want) != 0 {
+		t.Errorf("sum = %v, want %v", sum, want)
+	}
+	if err := <-errc; err != nil {
+		t.Errorf("Serve: %v", err)
+	}
+}
+
+func TestServeQueryChunked(t *testing.T) {
+	sk := testKey(t)
+	table, sel, want := fixture(t, 95, 40)
+	conn, errc := servePair(t, table)
+
+	sum, err := Query(conn, sk, sel, 10, nil)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if sum.Cmp(want) != 0 {
+		t.Errorf("sum = %v, want %v", sum, want)
+	}
+	if err := <-errc; err != nil {
+		t.Errorf("Serve: %v", err)
+	}
+}
+
+func TestServeRejectsVectorLengthMismatch(t *testing.T) {
+	sk := testKey(t)
+	table, _ := database.Generate(50, database.DistUniform, 1)
+	// Client lies: claims 49 positions.
+	sel, _ := database.NewSelection(49)
+	conn, errc := servePair(t, table)
+
+	_, err := Query(conn, sk, sel, 0, nil)
+	if err == nil {
+		t.Fatal("mismatched vector length should fail")
+	}
+	if !strings.Contains(err.Error(), "peer error") {
+		t.Errorf("client should see the server's error, got: %v", err)
+	}
+	if serr := <-errc; serr == nil {
+		t.Error("server should report the failure too")
+	}
+}
+
+func TestServeRejectsNonHelloOpen(t *testing.T) {
+	table := database.New([]uint32{1})
+	a, b := net.Pipe()
+	clientConn := wire.NewConn(a)
+	serverConn := wire.NewConn(b)
+	errc := make(chan error, 1)
+	go func() { errc <- Serve(serverConn, table) }()
+
+	if err := clientConn.Send(wire.MsgDone, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Server must reply with an error frame and fail.
+	f, err := clientConn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.MsgError {
+		t.Errorf("expected MsgError, got %#x", byte(f.Type))
+	}
+	if err := <-errc; err == nil {
+		t.Error("Serve should fail on non-hello open")
+	}
+	clientConn.Close()
+	serverConn.Close()
+}
+
+func TestServeRejectsUnknownScheme(t *testing.T) {
+	table := database.New([]uint32{1})
+	a, b := net.Pipe()
+	clientConn := wire.NewConn(a)
+	serverConn := wire.NewConn(b)
+	errc := make(chan error, 1)
+	go func() { errc <- Serve(serverConn, table) }()
+
+	hello := wire.Hello{Version: wire.Version, Scheme: "rot13", VectorLen: 1}
+	if err := clientConn.Send(wire.MsgHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := clientConn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.MsgError || !strings.Contains(string(f.Payload), "unknown scheme") {
+		t.Errorf("frame = %#x %q", byte(f.Type), f.Payload)
+	}
+	if err := <-errc; err == nil {
+		t.Error("Serve should fail on unknown scheme")
+	}
+	clientConn.Close()
+	serverConn.Close()
+}
+
+func TestServeRejectsBadVersion(t *testing.T) {
+	table := database.New([]uint32{1})
+	a, b := net.Pipe()
+	clientConn := wire.NewConn(a)
+	serverConn := wire.NewConn(b)
+	errc := make(chan error, 1)
+	go func() { errc <- Serve(serverConn, table) }()
+
+	hello := wire.Hello{Version: 99, Scheme: "paillier", VectorLen: 1}
+	if err := clientConn.Send(wire.MsgHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := clientConn.Recv(); err != nil || f.Type != wire.MsgError {
+		t.Errorf("expected MsgError, got %v / %v", f, err)
+	}
+	if err := <-errc; err == nil {
+		t.Error("Serve should fail on bad version")
+	}
+	clientConn.Close()
+	serverConn.Close()
+}
+
+func TestQueryOverTCPLoopback(t *testing.T) {
+	// Full stack: real TCP, real listener — what cmd/sumserver does.
+	sk := testKey(t)
+	table, sel, want := fixture(t, 60, 30)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	errc := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer c.Close()
+		errc <- Serve(wire.NewConn(c), table)
+	}()
+
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sum, err := Query(wire.NewConn(c), sk, sel, 16, nil)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if sum.Cmp(want) != 0 {
+		t.Errorf("sum = %v, want %v", sum, want)
+	}
+	if err := <-errc; err != nil {
+		t.Errorf("Serve: %v", err)
+	}
+}

@@ -1,0 +1,135 @@
+package selectedsum
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"privstats/internal/database"
+	"privstats/internal/homomorphic"
+	"privstats/internal/wire"
+)
+
+// GroupedSession folds one encrypted index vector into per-group encrypted
+// sums: the server holds a PUBLIC group label per row (a region, an age
+// band, a diagnosis code class) and maintains one accumulator per group, so
+// a single uplink yields the client a private histogram of sums —
+// Σ_{i∈I, label_i=g} x_i for every g.
+//
+// Privacy is unchanged from the base protocol: the labels are the server's
+// public schema, the client's selection stays encrypted, and the client
+// receives exactly the per-group aggregates it asked for (all groups are
+// always returned, so the server learns nothing from which groups are
+// "interesting").
+type GroupedSession struct {
+	pk     homomorphic.PublicKey
+	values database.Column
+	labels []int
+	groups int
+
+	accs []homomorphic.Ciphertext
+	next uint64
+	done bool
+}
+
+// NewGroupedSession prepares a per-group fold. labels[i] assigns row i to a
+// group in [0, groups).
+func NewGroupedSession(pk homomorphic.PublicKey, col database.Column, labels []int, groups int) (*GroupedSession, error) {
+	if pk == nil {
+		return nil, errors.New("selectedsum: nil public key")
+	}
+	if col == nil {
+		return nil, errors.New("selectedsum: nil column")
+	}
+	if groups < 1 {
+		return nil, fmt.Errorf("selectedsum: need at least 1 group, got %d", groups)
+	}
+	if len(labels) != col.Len() {
+		return nil, fmt.Errorf("%w: %d labels for %d rows", ErrVectorLength, len(labels), col.Len())
+	}
+	for i, l := range labels {
+		if l < 0 || l >= groups {
+			return nil, fmt.Errorf("selectedsum: row %d has label %d outside [0,%d)", i, l, groups)
+		}
+	}
+	return &GroupedSession{
+		pk:     pk,
+		values: col,
+		labels: labels,
+		groups: groups,
+		accs:   make([]homomorphic.Ciphertext, groups),
+	}, nil
+}
+
+// Absorb folds one index chunk into the per-group accumulators. The same
+// ordering and validation rules as ServerSession.Absorb apply.
+func (s *GroupedSession) Absorb(chunk *wire.IndexChunk) error {
+	if s.done {
+		return errors.New("selectedsum: absorb after finalize")
+	}
+	if chunk.Offset != s.next {
+		return fmt.Errorf("%w: got offset %d, want %d", ErrChunkOutOfOrder, chunk.Offset, s.next)
+	}
+	count := chunk.Count()
+	if chunk.Offset+uint64(count) > uint64(s.values.Len()) {
+		return fmt.Errorf("%w: chunk [%d,%d) exceeds %d rows", ErrVectorLength, chunk.Offset, chunk.Offset+uint64(count), s.values.Len())
+	}
+	scalar := new(big.Int)
+	for i := 0; i < count; i++ {
+		row := int(chunk.Offset) + i
+		ct, err := s.pk.ParseCiphertext(chunk.At(i))
+		if err != nil {
+			return fmt.Errorf("selectedsum: chunk ciphertext %d: %w", i, err)
+		}
+		x := s.values.At(row)
+		if x == 0 {
+			continue
+		}
+		scalar.SetUint64(x)
+		term, err := s.pk.ScalarMul(ct, scalar)
+		if err != nil {
+			return fmt.Errorf("selectedsum: scaling index %d: %w", row, err)
+		}
+		g := s.labels[row]
+		if s.accs[g] == nil {
+			s.accs[g] = term
+			continue
+		}
+		s.accs[g], err = s.pk.Add(s.accs[g], term)
+		if err != nil {
+			return fmt.Errorf("selectedsum: folding index %d: %w", row, err)
+		}
+	}
+	s.next += uint64(count)
+	return nil
+}
+
+// Finalize returns one rerandomized encrypted sum per group (groups with no
+// contribution return a fresh encryption of zero, indistinguishable from
+// any other group's response).
+func (s *GroupedSession) Finalize() ([]homomorphic.Ciphertext, error) {
+	if s.done {
+		return nil, errors.New("selectedsum: double finalize")
+	}
+	if s.next != uint64(s.values.Len()) {
+		return nil, fmt.Errorf("%w: folded %d of %d positions", ErrIncomplete, s.next, s.values.Len())
+	}
+	s.done = true
+	out := make([]homomorphic.Ciphertext, s.groups)
+	for g, acc := range s.accs {
+		if acc == nil {
+			zero, err := s.pk.Encrypt(new(big.Int))
+			if err != nil {
+				return nil, fmt.Errorf("selectedsum: encrypting empty group %d: %w", g, err)
+			}
+			out[g] = zero
+			continue
+		}
+		fresh, err := s.pk.Rerandomize(acc)
+		if err != nil {
+			return nil, fmt.Errorf("selectedsum: rerandomizing group %d: %w", g, err)
+		}
+		out[g] = fresh
+	}
+	return out, nil
+}

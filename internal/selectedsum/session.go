@@ -1,0 +1,303 @@
+// Package selectedsum implements the paper's private selected-sum protocol
+// (Figure 1) and its four evaluated optimizations: single-pass batching with
+// pipeline parallelism (§3.2), index-vector preprocessing (§3.3), their
+// combination (§3.4), and the multi-client blinded variant (§3.5).
+//
+// The protocol: the client holds an index vector I over the server's n
+// values x_1..x_n and a key pair of an additively homomorphic cryptosystem.
+// It sends E(I_1)..E(I_n); the server folds Π E(I_i)^{x_i} = E(Σ I_i·x_i)
+// and returns it; the client decrypts the sum.
+//
+// One deliberate hardening beyond the paper's prose: the server
+// rerandomizes the final product before returning it. The raw product's
+// randomness is Π r_i^{x_i}, a function of the database values under
+// randomness the client chose — for small databases the client could
+// brute-force values out of it. Rerandomization (one extra encryption of 0,
+// constant cost) restores the database-privacy claim. See Finalize.
+package selectedsum
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"privstats/internal/database"
+	"privstats/internal/homomorphic"
+	"privstats/internal/wire"
+)
+
+// Protocol errors.
+var (
+	ErrChunkOutOfOrder = errors.New("selectedsum: index chunk out of order")
+	ErrVectorLength    = errors.New("selectedsum: index vector length mismatch")
+	ErrIncomplete      = errors.New("selectedsum: index vector incomplete at finalize")
+)
+
+// BitEncryptor produces encryptions of index bits. The plain protocol uses
+// Online (encrypt on demand); the preprocessing optimization uses a
+// homomorphic.EncryptorPool filled offline.
+type BitEncryptor interface {
+	EncryptBit(bit uint) (homomorphic.Ciphertext, error)
+}
+
+// Online encrypts bits on demand with the public key — the unoptimized
+// client of Figures 2 and 3.
+type Online struct {
+	PK homomorphic.PublicKey
+}
+
+// EncryptBit implements BitEncryptor.
+func (o Online) EncryptBit(bit uint) (homomorphic.Ciphertext, error) {
+	if bit > 1 {
+		return nil, fmt.Errorf("selectedsum: index bit must be 0 or 1, got %d", bit)
+	}
+	return o.PK.Encrypt(big.NewInt(int64(bit)))
+}
+
+// Pooled draws preprocessed bit encryptions — the §3.3 optimized client.
+type Pooled struct {
+	Pool homomorphic.EncryptorPool
+}
+
+// EncryptBit implements BitEncryptor.
+func (p Pooled) EncryptBit(bit uint) (homomorphic.Ciphertext, error) {
+	if bit > 1 {
+		return nil, fmt.Errorf("selectedsum: index bit must be 0 or 1, got %d", bit)
+	}
+	return p.Pool.DrawBit(bit)
+}
+
+// EncryptRange encrypts the selection bits for positions [lo, hi) and
+// returns their concatenated wire encodings. This is the client's per-chunk
+// work; its duration is what the benchmarks report as client encryption
+// time.
+func EncryptRange(enc BitEncryptor, sel *database.Selection, lo, hi, width int) ([]byte, error) {
+	if lo < 0 || hi < lo || hi > sel.Len() {
+		return nil, fmt.Errorf("selectedsum: bad range [%d,%d) over %d", lo, hi, sel.Len())
+	}
+	out := make([]byte, 0, (hi-lo)*width)
+	for i := lo; i < hi; i++ {
+		ct, err := enc.EncryptBit(sel.Bit(i))
+		if err != nil {
+			return nil, fmt.Errorf("selectedsum: encrypting index %d: %w", i, err)
+		}
+		b := ct.Bytes()
+		if len(b) != width {
+			return nil, fmt.Errorf("selectedsum: ciphertext width %d, session expects %d", len(b), width)
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// ServerSession folds encrypted index chunks into the encrypted sum. It is
+// the server of Figure 1: stateless beyond the running partial product, and
+// it never decrypts anything.
+type ServerSession struct {
+	pk     homomorphic.PublicKey
+	values database.Column
+
+	acc  homomorphic.Ciphertext // nil until the first non-zero fold
+	next uint64                 // next expected vector offset
+	done bool
+}
+
+// NewServerSession prepares a fold over the table's value column under the
+// client's public key. vectorLen must equal the table length — the client
+// must supply a bit for every row or the server would learn which rows the
+// query ignores.
+func NewServerSession(pk homomorphic.PublicKey, table *database.Table, vectorLen uint64) (*ServerSession, error) {
+	if table == nil {
+		return nil, errors.New("selectedsum: nil table")
+	}
+	return NewColumnSession(pk, table.Column(), vectorLen)
+}
+
+// NewColumnSession is NewServerSession over an arbitrary numeric column —
+// the stats layer folds the same encrypted index vector against the value
+// column and the square column to compute variances privately.
+func NewColumnSession(pk homomorphic.PublicKey, col database.Column, vectorLen uint64) (*ServerSession, error) {
+	if pk == nil {
+		return nil, errors.New("selectedsum: nil public key")
+	}
+	if col == nil {
+		return nil, errors.New("selectedsum: nil column")
+	}
+	if vectorLen != uint64(col.Len()) {
+		return nil, fmt.Errorf("%w: client announces %d, table has %d rows", ErrVectorLength, vectorLen, col.Len())
+	}
+	return &ServerSession{pk: pk, values: col}, nil
+}
+
+// Absorb folds one index chunk. Chunks must arrive in order and without
+// gaps; each ciphertext is validated before use. The zero-valued rows are
+// skipped: E(I_i)^0 = E(0) contributes nothing, and the server knows x_i,
+// so the skip leaks nothing and saves an exponentiation.
+func (s *ServerSession) Absorb(chunk *wire.IndexChunk) error {
+	if s.done {
+		return errors.New("selectedsum: absorb after finalize")
+	}
+	if chunk.Offset != s.next {
+		return fmt.Errorf("%w: got offset %d, want %d", ErrChunkOutOfOrder, chunk.Offset, s.next)
+	}
+	count := chunk.Count()
+	if chunk.Offset+uint64(count) > uint64(s.values.Len()) {
+		return fmt.Errorf("%w: chunk [%d,%d) exceeds %d rows", ErrVectorLength, chunk.Offset, chunk.Offset+uint64(count), s.values.Len())
+	}
+	scalar := new(big.Int)
+	for i := 0; i < count; i++ {
+		ct, err := s.pk.ParseCiphertext(chunk.At(i))
+		if err != nil {
+			return fmt.Errorf("selectedsum: chunk ciphertext %d: %w", i, err)
+		}
+		x := s.values.At(int(chunk.Offset) + i)
+		if x == 0 {
+			continue
+		}
+		scalar.SetUint64(x)
+		term, err := s.pk.ScalarMul(ct, scalar)
+		if err != nil {
+			return fmt.Errorf("selectedsum: scaling index %d: %w", int(chunk.Offset)+i, err)
+		}
+		if s.acc == nil {
+			s.acc = term
+			continue
+		}
+		s.acc, err = s.pk.Add(s.acc, term)
+		if err != nil {
+			return fmt.Errorf("selectedsum: folding index %d: %w", int(chunk.Offset)+i, err)
+		}
+	}
+	s.next += uint64(count)
+	return nil
+}
+
+// AbsorbParallel is Absorb with the chunk's fold split across workers
+// goroutines. The fold is a product in a commutative group, so each worker
+// computes a partial product over a contiguous slice of the chunk and the
+// partials combine in any order. The paper names special-purpose hardware
+// as the way past the computation bottleneck; on a stock multicore host
+// this is the software equivalent for the server side.
+func (s *ServerSession) AbsorbParallel(chunk *wire.IndexChunk, workers int) error {
+	count := chunk.Count()
+	if workers <= 1 || count < 2*workers {
+		return s.Absorb(chunk)
+	}
+	if s.done {
+		return errors.New("selectedsum: absorb after finalize")
+	}
+	if chunk.Offset != s.next {
+		return fmt.Errorf("%w: got offset %d, want %d", ErrChunkOutOfOrder, chunk.Offset, s.next)
+	}
+	if chunk.Offset+uint64(count) > uint64(s.values.Len()) {
+		return fmt.Errorf("%w: chunk [%d,%d) exceeds %d rows", ErrVectorLength, chunk.Offset, chunk.Offset+uint64(count), s.values.Len())
+	}
+
+	partials := make([]homomorphic.Ciphertext, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * count / workers
+		hi := (w + 1) * count / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			scalar := new(big.Int)
+			var acc homomorphic.Ciphertext
+			for i := lo; i < hi; i++ {
+				ct, err := s.pk.ParseCiphertext(chunk.At(i))
+				if err != nil {
+					errs[w] = fmt.Errorf("selectedsum: chunk ciphertext %d: %w", i, err)
+					return
+				}
+				x := s.values.At(int(chunk.Offset) + i)
+				if x == 0 {
+					continue
+				}
+				scalar.SetUint64(x)
+				term, err := s.pk.ScalarMul(ct, scalar)
+				if err != nil {
+					errs[w] = fmt.Errorf("selectedsum: scaling index %d: %w", int(chunk.Offset)+i, err)
+					return
+				}
+				if acc == nil {
+					acc = term
+					continue
+				}
+				acc, err = s.pk.Add(acc, term)
+				if err != nil {
+					errs[w] = fmt.Errorf("selectedsum: folding index %d: %w", int(chunk.Offset)+i, err)
+					return
+				}
+			}
+			partials[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		if s.acc == nil {
+			s.acc = p
+			continue
+		}
+		var err error
+		s.acc, err = s.pk.Add(s.acc, p)
+		if err != nil {
+			return fmt.Errorf("selectedsum: combining partial products: %w", err)
+		}
+	}
+	s.next += uint64(count)
+	return nil
+}
+
+// Absorbed reports how many vector positions have been folded.
+func (s *ServerSession) Absorbed() uint64 { return s.next }
+
+// Finalize checks the vector is complete and returns the rerandomized
+// encrypted sum. Optionally a blinding value can be added homomorphically —
+// the multi-client protocol passes the server's R_i here; single-client
+// runs pass nil.
+func (s *ServerSession) Finalize(blind *big.Int) (homomorphic.Ciphertext, error) {
+	if s.done {
+		return nil, errors.New("selectedsum: double finalize")
+	}
+	if s.next != uint64(s.values.Len()) {
+		return nil, fmt.Errorf("%w: folded %d of %d positions", ErrIncomplete, s.next, s.values.Len())
+	}
+	s.done = true
+
+	acc := s.acc
+	if acc == nil {
+		// All rows were zero: the sum is zero regardless of the selection.
+		zero, err := s.pk.Encrypt(new(big.Int))
+		if err != nil {
+			return nil, fmt.Errorf("selectedsum: encrypting empty sum: %w", err)
+		}
+		acc = zero
+	}
+	if blind != nil {
+		bl := new(big.Int).Mod(blind, s.pk.PlaintextSpace())
+		blCt, err := s.pk.Encrypt(bl)
+		if err != nil {
+			return nil, fmt.Errorf("selectedsum: encrypting blinding: %w", err)
+		}
+		// The blinding encryption is fresh, so it doubles as the
+		// rerandomization.
+		return s.pk.Add(acc, blCt)
+	}
+	// Rerandomize so the response's randomness is independent of the
+	// database values (see the package comment).
+	fresh, err := s.pk.Rerandomize(acc)
+	if err != nil {
+		return nil, fmt.Errorf("selectedsum: rerandomizing sum: %w", err)
+	}
+	return fresh, nil
+}

@@ -1,0 +1,310 @@
+package spfe
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+
+	"privstats/internal/database"
+	"privstats/internal/homomorphic"
+	"privstats/internal/paillier"
+)
+
+var (
+	tkOnce sync.Once
+	tkKey  *paillier.PrivateKey
+	tkErr  error
+)
+
+func testKey(t testing.TB) homomorphic.PrivateKey {
+	t.Helper()
+	tkOnce.Do(func() { tkKey, tkErr = paillier.KeyGen(rand.Reader, 256) })
+	if tkErr != nil {
+		t.Fatalf("KeyGen: %v", tkErr)
+	}
+	return paillier.SchemeKey{SK: tkKey}
+}
+
+func TestWeightedSumExact(t *testing.T) {
+	sk := testKey(t)
+	table := database.New([]uint32{10, 20, 30, 40})
+	w, err := NewWeights([]*big.Int{
+		big.NewInt(1), big.NewInt(0), big.NewInt(3), big.NewInt(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := WeightedSum(sk, table.Column(), w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(10 + 0 + 90 + 200)
+	if got.Int64() != want {
+		t.Errorf("weighted sum = %v, want %d", got, want)
+	}
+}
+
+func TestWeightedSumChunked(t *testing.T) {
+	sk := testKey(t)
+	n := 57
+	table, _ := database.Generate(n, database.DistSmall, 17)
+	ws := make([]*big.Int, n)
+	want := new(big.Int)
+	for i := range ws {
+		ws[i] = big.NewInt(int64(i % 7))
+		want.Add(want, new(big.Int).Mul(ws[i], big.NewInt(int64(table.Value(i)))))
+	}
+	w, err := NewWeights(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := WeightedSum(sk, table.Column(), w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Errorf("weighted sum = %v, want %v", got, want)
+	}
+}
+
+func TestWeightedSumDegeneratesToSelectedSum(t *testing.T) {
+	sk := testKey(t)
+	table, _ := database.Generate(40, database.DistSmall, 4)
+	sel, _ := database.GenerateSelection(40, 15, database.PatternRandom, 8)
+	w := UniformFromSelection(sel)
+	got, err := WeightedSum(sk, table.Column(), w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := table.SelectedSum(sel)
+	if got.Cmp(want) != 0 {
+		t.Errorf("0/1-weighted sum = %v, selected sum = %v", got, want)
+	}
+}
+
+func TestWeightedAverage(t *testing.T) {
+	sk := testKey(t)
+	table := database.New([]uint32{100, 200})
+	w, _ := NewWeights([]*big.Int{big.NewInt(1), big.NewInt(3)})
+	avg, err := WeightedAverage(sk, table.Column(), w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (100 + 600)/4 = 175
+	if avg.Cmp(big.NewRat(175, 1)) != 0 {
+		t.Errorf("weighted average = %v, want 175", avg)
+	}
+}
+
+func TestWeightedAverageZeroWeights(t *testing.T) {
+	sk := testKey(t)
+	table := database.New([]uint32{1})
+	w, _ := NewWeights([]*big.Int{big.NewInt(0)})
+	if _, err := WeightedAverage(sk, table.Column(), w, 0); err == nil {
+		t.Error("all-zero weights should fail")
+	}
+}
+
+func TestWeightsValidation(t *testing.T) {
+	if _, err := NewWeights([]*big.Int{nil}); err == nil {
+		t.Error("nil weight should fail")
+	}
+	if _, err := NewWeights([]*big.Int{big.NewInt(-1)}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	sk := testKey(t)
+	table := database.New([]uint32{1, 2})
+	w, _ := NewWeights([]*big.Int{big.NewInt(1)})
+	if _, err := WeightedSum(sk, table.Column(), w, 0); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	// Weight >= plaintext space must be rejected.
+	huge := new(big.Int).Lsh(big.NewInt(1), 300) // exceeds 256-bit modulus
+	wBig, _ := NewWeights([]*big.Int{huge, big.NewInt(0)})
+	if _, err := WeightedSum(sk, table.Column(), wBig, 0); err == nil {
+		t.Error("oversized weight should fail")
+	}
+	if _, err := WeightedSum(nil, table.Column(), w, 0); err == nil {
+		t.Error("nil key should fail")
+	}
+}
+
+func TestPowerColumn(t *testing.T) {
+	table := database.New([]uint32{0, 1, 2, 10})
+	pc, err := NewPowerColumn(table.Column(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 1, 8, 1000}
+	for i, v := range want {
+		if pc.At(i) != v {
+			t.Errorf("pow[%d] = %d, want %d", i, pc.At(i), v)
+		}
+	}
+	if pc.Len() != 4 {
+		t.Errorf("len = %d", pc.Len())
+	}
+}
+
+func TestPowerColumnOverflow(t *testing.T) {
+	table := database.New([]uint32{1 << 31})
+	// (2^31)^3 = 2^93 overflows uint64.
+	if _, err := NewPowerColumn(table.Column(), 3); err == nil {
+		t.Error("overflow should be detected")
+	}
+	// (2^31)^2 = 2^62 fits.
+	if _, err := NewPowerColumn(table.Column(), 2); err != nil {
+		t.Errorf("2^62 fits: %v", err)
+	}
+	if _, err := NewPowerColumn(table.Column(), 0); err == nil {
+		t.Error("power 0 should fail")
+	}
+}
+
+func TestPolynomialSumQuadratic(t *testing.T) {
+	sk := testKey(t)
+	// p(x) = 2 - 3x + x²; selection {3, 5}: p(3)=2, p(5)=12; total 14.
+	table := database.New([]uint32{3, 4, 5})
+	sel, _ := database.NewSelection(3)
+	sel.Set(0)
+	sel.Set(2)
+	coeffs := []*big.Int{big.NewInt(2), big.NewInt(-3), big.NewInt(1)}
+	got, err := PolynomialSum(sk, table.Column(), sel, coeffs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 14 {
+		t.Errorf("polynomial sum = %v, want 14", got)
+	}
+}
+
+func TestPolynomialSumConstant(t *testing.T) {
+	sk := testKey(t)
+	table := database.New([]uint32{7, 8, 9})
+	sel, _ := database.NewSelection(3)
+	sel.Set(1)
+	sel.Set(2)
+	// p(x) = 5: total = 5·m = 10 with no protocol rounds at all.
+	got, err := PolynomialSum(sk, table.Column(), sel, []*big.Int{big.NewInt(5)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 10 {
+		t.Errorf("constant polynomial sum = %v, want 10", got)
+	}
+}
+
+func TestPolynomialSumMatchesOracle(t *testing.T) {
+	sk := testKey(t)
+	table, _ := database.Generate(30, database.DistSmall, 23)
+	sel, _ := database.GenerateSelection(30, 12, database.PatternRandom, 24)
+	coeffs := []*big.Int{big.NewInt(-7), big.NewInt(4), big.NewInt(0), big.NewInt(2)}
+	got, err := PolynomialSum(sk, table.Column(), sel, coeffs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int)
+	for _, i := range sel.Indices() {
+		x := big.NewInt(int64(table.Value(i)))
+		px := new(big.Int).Set(coeffs[0])
+		xp := new(big.Int).SetInt64(1)
+		for j := 1; j < len(coeffs); j++ {
+			xp.Mul(xp, x)
+			px.Add(px, new(big.Int).Mul(coeffs[j], xp))
+		}
+		want.Add(want, px)
+	}
+	if got.Cmp(want) != 0 {
+		t.Errorf("polynomial sum = %v, want %v", got, want)
+	}
+}
+
+func TestPolynomialSumValidation(t *testing.T) {
+	sk := testKey(t)
+	table := database.New([]uint32{1, 2})
+	sel, _ := database.NewSelection(2)
+	if _, err := PolynomialSum(sk, table.Column(), sel, nil, 0); err == nil {
+		t.Error("empty coefficients should fail")
+	}
+	if _, err := PolynomialSum(sk, table.Column(), sel, []*big.Int{big.NewInt(1), nil}, 0); err == nil {
+		t.Error("nil coefficient should fail")
+	}
+	badSel, _ := database.NewSelection(3)
+	if _, err := PolynomialSum(sk, table.Column(), badSel, []*big.Int{big.NewInt(1)}, 0); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := PolynomialSum(nil, table.Column(), sel, []*big.Int{big.NewInt(1)}, 0); err == nil {
+		t.Error("nil key should fail")
+	}
+}
+
+func TestMultiDatabaseSum(t *testing.T) {
+	sk := testKey(t)
+	t1 := database.New([]uint32{1, 2, 3})
+	t2 := database.New([]uint32{10, 20})
+	t3 := database.New([]uint32{100, 200, 300, 400})
+	sel, _ := database.NewSelection(9)
+	for _, i := range []int{0, 2, 3, 8} { // rows 1, 3 | 10 | 400
+		sel.Set(i)
+	}
+	res, err := MultiDatabaseSum(sk, []*database.Table{t1, t2, t3}, sel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum.Int64() != 1+3+10+400 {
+		t.Errorf("sum = %v, want 414", res.Sum)
+	}
+	if len(res.PerServerRows) != 3 || res.PerServerRows[2] != 4 {
+		t.Errorf("per-server rows = %v", res.PerServerRows)
+	}
+	if res.ChainBytes <= 0 {
+		t.Error("chain traffic unaccounted")
+	}
+}
+
+func TestMultiDatabaseSumSingleDB(t *testing.T) {
+	sk := testKey(t)
+	table, _ := database.Generate(25, database.DistSmall, 2)
+	sel, _ := database.GenerateSelection(25, 10, database.PatternRandom, 3)
+	res, err := MultiDatabaseSum(sk, []*database.Table{table}, sel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := table.SelectedSum(sel)
+	if res.Sum.Cmp(want) != 0 {
+		t.Errorf("sum = %v, want %v", res.Sum, want)
+	}
+	if res.ChainBytes != 0 {
+		t.Errorf("single DB should have no chain traffic, got %d", res.ChainBytes)
+	}
+}
+
+func TestMultiDatabaseSumValidation(t *testing.T) {
+	sk := testKey(t)
+	table := database.New([]uint32{1})
+	sel, _ := database.NewSelection(1)
+	if _, err := MultiDatabaseSum(sk, nil, sel, 0); err == nil {
+		t.Error("no databases should fail")
+	}
+	if _, err := MultiDatabaseSum(sk, []*database.Table{nil}, sel, 0); err == nil {
+		t.Error("nil table should fail")
+	}
+	sel2, _ := database.NewSelection(2)
+	if _, err := MultiDatabaseSum(sk, []*database.Table{table}, sel2, 0); err == nil {
+		t.Error("selection length mismatch should fail")
+	}
+	if _, err := MultiDatabaseSum(nil, []*database.Table{table}, sel, 0); err == nil {
+		t.Error("nil key should fail")
+	}
+}
+
+func TestWeightsTotal(t *testing.T) {
+	w, _ := NewWeights([]*big.Int{big.NewInt(2), big.NewInt(5), big.NewInt(0)})
+	if w.Total().Int64() != 7 {
+		t.Errorf("total = %v", w.Total())
+	}
+	if w.Len() != 3 || w.At(1).Int64() != 5 {
+		t.Errorf("accessors broken")
+	}
+}

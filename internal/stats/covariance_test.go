@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"privstats/internal/database"
+)
+
+func TestCovarianceExactSmall(t *testing.T) {
+	a := analyst(t)
+	// Selected pairs: (1,2), (2,4), (3,6) — perfectly correlated, Y = 2X.
+	// mean X = 2, mean Y = 4; cov = E[XY] - E[X]E[Y] = (2+8+18)/3 - 8 = 4/3.
+	x := database.New([]uint32{1, 9, 2, 3})
+	y := database.New([]uint32{2, 7, 4, 6})
+	sel, _ := database.NewSelection(4)
+	sel.Set(0)
+	sel.Set(2)
+	sel.Set(3)
+	pm, cost, err := a.CovarianceQuery(x, y, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.SumX.Int64() != 6 || pm.SumY.Int64() != 12 || pm.SumXY.Int64() != 2+8+18 {
+		t.Errorf("sums = %v %v %v", pm.SumX, pm.SumY, pm.SumXY)
+	}
+	if pm.Covariance.Cmp(big.NewRat(4, 3)) != 0 {
+		t.Errorf("cov = %v, want 4/3", pm.Covariance)
+	}
+	width := int64(a.sk.PublicKey().CiphertextSize())
+	if cost.BytesDown != 3*(5+width) {
+		t.Errorf("BytesDown = %d, want three ciphertext frames", cost.BytesDown)
+	}
+}
+
+func TestCovarianceMatchesOracle(t *testing.T) {
+	a := analyst(t)
+	x, _ := database.Generate(90, database.DistSmall, 41)
+	y, _ := database.Generate(90, database.DistSmall, 43)
+	sel, _ := database.GenerateSelection(90, 40, database.PatternRandom, 44)
+	pm, _, err := a.CovarianceQuery(x, y, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sx, sy, sxy, m float64
+	for _, i := range sel.Indices() {
+		vx, vy := float64(x.Value(i)), float64(y.Value(i))
+		sx += vx
+		sy += vy
+		sxy += vx * vy
+		m++
+	}
+	want := sxy/m - (sx/m)*(sy/m)
+	got, _ := pm.Covariance.Float64()
+	if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+		t.Errorf("cov = %v, want %v", got, want)
+	}
+}
+
+func TestCovarianceOfIndependentConstant(t *testing.T) {
+	a := analyst(t)
+	x, _ := database.Generate(30, database.DistSmall, 3)
+	y, _ := database.Generate(30, database.DistConstant, 3) // constant Y
+	sel, _ := database.GenerateSelection(30, 12, database.PatternRandom, 4)
+	pm, _, err := a.CovarianceQuery(x, y, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Covariance.Sign() != 0 {
+		t.Errorf("cov with constant column = %v, want 0", pm.Covariance)
+	}
+}
+
+func TestCovarianceValidation(t *testing.T) {
+	a := analyst(t)
+	x := database.New([]uint32{1, 2})
+	y3 := database.New([]uint32{1, 2, 3})
+	sel, _ := database.NewSelection(2)
+	sel.Set(0)
+	if _, _, err := a.CovarianceQuery(x, y3, sel); err == nil {
+		t.Error("mismatched tables should fail")
+	}
+	y := database.New([]uint32{5, 6})
+	badSel, _ := database.NewSelection(3)
+	badSel.Set(0)
+	if _, _, err := a.CovarianceQuery(x, y, badSel); err == nil {
+		t.Error("selection length mismatch should fail")
+	}
+	empty, _ := database.NewSelection(2)
+	if _, _, err := a.CovarianceQuery(x, y, empty); err != ErrEmptySelection {
+		t.Errorf("err = %v, want ErrEmptySelection", err)
+	}
+}
+
+func TestProductColumn(t *testing.T) {
+	a := database.New([]uint32{2, 3, 1<<32 - 1})
+	b := database.New([]uint32{5, 7, 1<<32 - 1})
+	col, err := database.ProductColumn(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.At(0) != 10 || col.At(1) != 21 {
+		t.Errorf("products = %d, %d", col.At(0), col.At(1))
+	}
+	// Max product must be exact in uint64.
+	want := uint64(1<<32-1) * uint64(1<<32-1)
+	if col.At(2) != want {
+		t.Errorf("max product = %d, want %d", col.At(2), want)
+	}
+	short := database.New([]uint32{1})
+	if _, err := database.ProductColumn(a, short); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}

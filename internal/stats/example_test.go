@@ -1,0 +1,80 @@
+package stats_test
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"privstats/internal/database"
+	"privstats/internal/netsim"
+	"privstats/internal/paillier"
+	"privstats/internal/stats"
+)
+
+// ExampleAnalyst_MomentsQuery privately computes mean and variance of a
+// selected cohort in one protocol round.
+func ExampleAnalyst_MomentsQuery() {
+	table := database.New([]uint32{2, 100, 4, 6}) // cohort: 2, 4, 6
+	sel, err := database.NewSelection(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel.Set(0)
+	sel.Set(2)
+	sel.Set(3)
+
+	key, err := paillier.KeyGen(rand.Reader, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyst, err := stats.NewAnalyst(paillier.SchemeKey{SK: key}, stats.Config{
+		Link: netsim.ShortDistance,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, _, err := analyst.MomentsQuery(table, sel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("count:", m.Count)
+	fmt.Println("mean:", m.Mean.RatString())
+	fmt.Println("variance:", m.Variance.RatString())
+	// Output:
+	// count: 3
+	// mean: 4
+	// variance: 8/3
+}
+
+// ExampleAnalyst_GroupByQuery aggregates a private selection per public
+// stratum: one uplink, per-group sums and counts back.
+func ExampleAnalyst_GroupByQuery() {
+	table := database.New([]uint32{10, 20, 30, 40})
+	labels := []int{0, 1, 0, 1} // public group per row
+	sel, err := database.NewSelection(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		sel.Set(i)
+	}
+	key, err := paillier.KeyGen(rand.Reader, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyst, err := stats.NewAnalyst(paillier.SchemeKey{SK: key}, stats.Config{
+		Link: netsim.ShortDistance,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, _, err := analyst.GroupByQuery(table, sel, labels, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("group 0 sum:", g.Sums[0], "count:", g.Counts[0])
+	fmt.Println("group 1 sum:", g.Sums[1], "count:", g.Counts[1])
+	// Output:
+	// group 0 sum: 40 count: 2
+	// group 1 sum: 60 count: 2
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"privstats/internal/database"
+	"privstats/internal/selectedsum"
+	"privstats/internal/wire"
+)
+
+// GroupedSums is a private GROUP BY: the client's secret selection is
+// aggregated per public stratum (the server's group labels) in one protocol
+// round. One uplink of the encrypted index vector produces both the
+// per-group sums of the value column and the per-group selected counts (the
+// count fold runs against a constant-1 column), so the client can derive
+// per-group means too.
+type GroupedSums struct {
+	// Sums[g] is Σ x_i over selected rows with label g; Counts[g] the
+	// number of selected rows in g.
+	Sums   []*big.Int
+	Counts []*big.Int
+}
+
+// Mean returns the exact mean of group g, or nil when the group has no
+// selected rows.
+func (g *GroupedSums) Mean(group int) *big.Rat {
+	if group < 0 || group >= len(g.Sums) || g.Counts[group].Sign() == 0 {
+		return nil
+	}
+	return new(big.Rat).SetFrac(g.Sums[group], g.Counts[group])
+}
+
+// onesColumn is the constant-1 column the count fold runs against.
+type onesColumn struct{ n int }
+
+func (c onesColumn) Len() int    { return c.n }
+func (onesColumn) At(int) uint64 { return 1 }
+
+// GroupByQuery privately computes per-group sums and counts of the selected
+// rows. labels[i] assigns row i to a group in [0, groups); the labels are
+// the server's public schema.
+func (a *Analyst) GroupByQuery(table *database.Table, sel *database.Selection, labels []int, groups int) (*GroupedSums, Cost, error) {
+	if sel.Len() != table.Len() {
+		return nil, Cost{}, fmt.Errorf("stats: selection length %d != table length %d", sel.Len(), table.Len())
+	}
+	pk := a.sk.PublicKey()
+	n := table.Len()
+
+	sumSession, err := selectedsum.NewGroupedSession(pk, table.Column(), labels, groups)
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	countSession, err := selectedsum.NewGroupedSession(pk, onesColumn{n: n}, labels, groups)
+	if err != nil {
+		return nil, Cost{}, err
+	}
+
+	var enc selectedsum.BitEncryptor = selectedsum.Online{PK: pk}
+	if a.pool != nil {
+		enc = selectedsum.Pooled{Pool: a.pool}
+	}
+	chunkSize := a.chunkSize
+	if chunkSize <= 0 || chunkSize > n {
+		chunkSize = n
+	}
+	width := pk.CiphertextSize()
+
+	start := time.Now()
+	var bytesUp int64
+	for lo := 0; lo < n; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		body, err := selectedsum.EncryptRange(enc, sel, lo, hi, width)
+		if err != nil {
+			return nil, Cost{}, err
+		}
+		chunk := &wire.IndexChunk{Offset: uint64(lo), Ciphertexts: body, Width: width}
+		payload := chunk.Encode()
+		bytesUp += int64(wire.FrameOverhead + len(payload))
+		decoded, err := wire.DecodeIndexChunk(payload, width)
+		if err != nil {
+			return nil, Cost{}, err
+		}
+		if err := sumSession.Absorb(decoded); err != nil {
+			return nil, Cost{}, err
+		}
+		if err := countSession.Absorb(decoded); err != nil {
+			return nil, Cost{}, err
+		}
+	}
+
+	sumCts, err := sumSession.Finalize()
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	countCts, err := countSession.Finalize()
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	out := &GroupedSums{
+		Sums:   make([]*big.Int, groups),
+		Counts: make([]*big.Int, groups),
+	}
+	for g := 0; g < groups; g++ {
+		if out.Sums[g], err = a.sk.Decrypt(sumCts[g]); err != nil {
+			return nil, Cost{}, fmt.Errorf("stats: decrypting group %d sum: %w", g, err)
+		}
+		if out.Counts[g], err = a.sk.Decrypt(countCts[g]); err != nil {
+			return nil, Cost{}, fmt.Errorf("stats: decrypting group %d count: %w", g, err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	bytesDown := int64(2 * groups * (wire.FrameOverhead + width))
+	cost := Cost{
+		Online:    elapsed + a.link.OneWayTime(bytesUp) + a.link.OneWayTime(bytesDown),
+		BytesUp:   bytesUp,
+		BytesDown: bytesDown,
+	}
+	return out, cost, nil
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math/big"
+	"testing"
+
+	"privstats/internal/database"
+)
+
+func TestGroupByExactSmall(t *testing.T) {
+	a := analyst(t)
+	// Rows:      0   1   2   3   4   5
+	// Values:   10  20  30  40  50  60
+	// Labels:    0   1   0   1   2   2
+	// Selected:  x       x   x       x
+	table := database.New([]uint32{10, 20, 30, 40, 50, 60})
+	labels := []int{0, 1, 0, 1, 2, 2}
+	sel, _ := database.NewSelection(6)
+	for _, i := range []int{0, 2, 3, 5} {
+		sel.Set(i)
+	}
+	g, cost, err := a.GroupByQuery(table, sel, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSums := []int64{40, 40, 60}
+	wantCounts := []int64{2, 1, 1}
+	for i := range wantSums {
+		if g.Sums[i].Int64() != wantSums[i] {
+			t.Errorf("group %d sum = %v, want %d", i, g.Sums[i], wantSums[i])
+		}
+		if g.Counts[i].Int64() != wantCounts[i] {
+			t.Errorf("group %d count = %v, want %d", i, g.Counts[i], wantCounts[i])
+		}
+	}
+	if m := g.Mean(0); m.Cmp(big.NewRat(20, 1)) != 0 {
+		t.Errorf("group 0 mean = %v, want 20", m)
+	}
+	if cost.BytesDown <= 0 || cost.BytesUp <= 0 {
+		t.Errorf("degenerate cost %+v", cost)
+	}
+}
+
+func TestGroupByEmptyGroupAndEmptySelection(t *testing.T) {
+	a := analyst(t)
+	table := database.New([]uint32{5, 6})
+	labels := []int{0, 0} // group 1 exists but gets no rows at all
+	sel, _ := database.NewSelection(2)
+	g, _, err := a.GroupByQuery(table, sel, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if g.Sums[i].Sign() != 0 || g.Counts[i].Sign() != 0 {
+			t.Errorf("group %d: sum=%v count=%v, want zeros", i, g.Sums[i], g.Counts[i])
+		}
+	}
+	if g.Mean(0) != nil {
+		t.Error("mean of empty group should be nil")
+	}
+	if g.Mean(5) != nil {
+		t.Error("mean of out-of-range group should be nil")
+	}
+}
+
+func TestGroupByMatchesOracle(t *testing.T) {
+	a := analyst(t)
+	const n, groups = 120, 5
+	table, _ := database.Generate(n, database.DistSmall, 51)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % groups
+	}
+	sel, _ := database.GenerateSelection(n, 60, database.PatternRandom, 52)
+	g, _, err := a.GroupByQuery(table, sel, labels, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := make([]int64, groups)
+	wantCount := make([]int64, groups)
+	for _, i := range sel.Indices() {
+		wantSum[labels[i]] += int64(table.Value(i))
+		wantCount[labels[i]]++
+	}
+	for gi := 0; gi < groups; gi++ {
+		if g.Sums[gi].Int64() != wantSum[gi] || g.Counts[gi].Int64() != wantCount[gi] {
+			t.Errorf("group %d: (%v,%v), want (%d,%d)", gi, g.Sums[gi], g.Counts[gi], wantSum[gi], wantCount[gi])
+		}
+	}
+}
+
+func TestGroupByChunked(t *testing.T) {
+	sk := testKey(t)
+	a, err := NewAnalyst(sk, Config{Link: analyst(t).link, ChunkSize: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, _ := database.Generate(50, database.DistSmall, 61)
+	labels := make([]int, 50)
+	for i := range labels {
+		labels[i] = i / 25
+	}
+	sel, _ := database.GenerateSelection(50, 20, database.PatternRandom, 62)
+	g, _, err := a.GroupByQuery(table, sel, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := new(big.Int).Add(g.Sums[0], g.Sums[1])
+	want, _ := table.SelectedSum(sel)
+	if total.Cmp(want) != 0 {
+		t.Errorf("group sums total %v != selected sum %v", total, want)
+	}
+}
+
+func TestGroupByValidation(t *testing.T) {
+	a := analyst(t)
+	table := database.New([]uint32{1, 2})
+	sel, _ := database.NewSelection(2)
+	if _, _, err := a.GroupByQuery(table, sel, []int{0}, 1); err == nil {
+		t.Error("short labels should fail")
+	}
+	if _, _, err := a.GroupByQuery(table, sel, []int{0, 5}, 2); err == nil {
+		t.Error("out-of-range label should fail")
+	}
+	if _, _, err := a.GroupByQuery(table, sel, []int{0, 0}, 0); err == nil {
+		t.Error("zero groups should fail")
+	}
+	badSel, _ := database.NewSelection(3)
+	if _, _, err := a.GroupByQuery(table, badSel, []int{0, 0}, 1); err == nil {
+		t.Error("selection mismatch should fail")
+	}
+}

@@ -1,0 +1,255 @@
+package stats
+
+import (
+	"crypto/rand"
+	"math"
+	"math/big"
+	"sync"
+	"testing"
+
+	"privstats/internal/database"
+	"privstats/internal/homomorphic"
+	"privstats/internal/netsim"
+	"privstats/internal/paillier"
+)
+
+var (
+	tkOnce sync.Once
+	tkKey  *paillier.PrivateKey
+	tkErr  error
+)
+
+func testKey(t testing.TB) homomorphic.PrivateKey {
+	t.Helper()
+	tkOnce.Do(func() { tkKey, tkErr = paillier.KeyGen(rand.Reader, 256) })
+	if tkErr != nil {
+		t.Fatalf("KeyGen: %v", tkErr)
+	}
+	return paillier.SchemeKey{SK: tkKey}
+}
+
+func analyst(t *testing.T) *Analyst {
+	t.Helper()
+	a, err := NewAnalyst(testKey(t), Config{Link: netsim.ShortDistance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// cleartextStats computes the oracle mean and variance of the selection.
+func cleartextStats(table *database.Table, sel *database.Selection) (mean, variance float64) {
+	var sum, sumSq, m float64
+	for _, i := range sel.Indices() {
+		v := float64(table.Value(i))
+		sum += v
+		sumSq += v * v
+		m++
+	}
+	mean = sum / m
+	variance = sumSq/m - mean*mean
+	return mean, variance
+}
+
+func TestSumMatchesOracle(t *testing.T) {
+	a := analyst(t)
+	table, _ := database.Generate(80, database.DistSmall, 5)
+	sel, _ := database.GenerateSelection(80, 33, database.PatternRandom, 6)
+	want, _ := table.SelectedSum(sel)
+	got, cost, err := a.Sum(table, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	if cost.BytesUp <= 0 || cost.BytesDown <= 0 || cost.Online <= 0 {
+		t.Errorf("degenerate cost %+v", cost)
+	}
+}
+
+func TestMeanExact(t *testing.T) {
+	a := analyst(t)
+	table := database.New([]uint32{10, 20, 30, 40})
+	sel, _ := database.NewSelection(4)
+	sel.Set(0)
+	sel.Set(3) // mean (10+40)/2 = 25
+	mean, _, err := a.Mean(table, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.Cmp(big.NewRat(25, 1)) != 0 {
+		t.Errorf("mean = %v, want 25", mean)
+	}
+}
+
+func TestMeanEmptySelection(t *testing.T) {
+	a := analyst(t)
+	table := database.New([]uint32{1, 2})
+	sel, _ := database.NewSelection(2)
+	if _, _, err := a.Mean(table, sel); err != ErrEmptySelection {
+		t.Errorf("err = %v, want ErrEmptySelection", err)
+	}
+}
+
+func TestMomentsExactSmall(t *testing.T) {
+	a := analyst(t)
+	// Values 2, 4, 6 selected: mean 4, variance (4+0+4)/3 = 8/3.
+	table := database.New([]uint32{2, 99, 4, 6, 7})
+	sel, _ := database.NewSelection(5)
+	sel.Set(0)
+	sel.Set(2)
+	sel.Set(3)
+	m, _, err := a.MomentsQuery(table, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count != 3 {
+		t.Errorf("count = %d", m.Count)
+	}
+	if m.Sum.Int64() != 12 || m.SumSquares.Int64() != 4+16+36 {
+		t.Errorf("S=%v Q=%v", m.Sum, m.SumSquares)
+	}
+	if m.Mean.Cmp(big.NewRat(4, 1)) != 0 {
+		t.Errorf("mean = %v", m.Mean)
+	}
+	if m.Variance.Cmp(big.NewRat(8, 3)) != 0 {
+		t.Errorf("variance = %v, want 8/3", m.Variance)
+	}
+	want := math.Sqrt(8.0 / 3.0)
+	if got := m.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", got, want)
+	}
+}
+
+func TestMomentsMatchOracleRandom(t *testing.T) {
+	a := analyst(t)
+	table, _ := database.Generate(120, database.DistSmall, 21)
+	sel, _ := database.GenerateSelection(120, 50, database.PatternRandom, 22)
+	m, cost, err := a.MomentsQuery(table, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean, wantVar := cleartextStats(table, sel)
+	gotMean, _ := m.Mean.Float64()
+	gotVar, _ := m.Variance.Float64()
+	if math.Abs(gotMean-wantMean) > 1e-6*math.Max(1, wantMean) {
+		t.Errorf("mean = %v, want %v", gotMean, wantMean)
+	}
+	if math.Abs(gotVar-wantVar) > 1e-6*math.Max(1, wantVar) {
+		t.Errorf("variance = %v, want %v", gotVar, wantVar)
+	}
+	// One round: a single uplink, two response ciphertexts.
+	width := int64(a.sk.PublicKey().CiphertextSize())
+	if cost.BytesDown != 2*(5+width) {
+		t.Errorf("BytesDown = %d, want %d", cost.BytesDown, 2*(5+width))
+	}
+}
+
+func TestMomentsConstantValues(t *testing.T) {
+	a := analyst(t)
+	table, _ := database.Generate(30, database.DistConstant, 1)
+	sel, _ := database.GenerateSelection(30, 10, database.PatternPrefix, 0)
+	m, _, err := a.MomentsQuery(table, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Variance.Sign() != 0 {
+		t.Errorf("variance of constants = %v, want 0", m.Variance)
+	}
+	if m.StdDev() != 0 {
+		t.Errorf("stddev = %v, want 0", m.StdDev())
+	}
+	if m.Mean.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("mean = %v, want 1", m.Mean)
+	}
+}
+
+func TestMomentsSingleRow(t *testing.T) {
+	a := analyst(t)
+	table := database.New([]uint32{123456})
+	sel, _ := database.NewSelection(1)
+	sel.Set(0)
+	m, _, err := a.MomentsQuery(table, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Variance.Sign() != 0 {
+		t.Errorf("variance of one row = %v", m.Variance)
+	}
+}
+
+func TestMomentsMaxValuesNoOverflow(t *testing.T) {
+	// Σx² with maximal 32-bit values must be exact.
+	a := analyst(t)
+	n := 20
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = 1<<32 - 1
+	}
+	table := database.New(vals)
+	sel, _ := database.GenerateSelection(n, n, database.PatternPrefix, 0)
+	m, _, err := a.MomentsQuery(table, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := new(big.Int).SetUint64((1<<32 - 1))
+	wantQ := new(big.Int).Mul(one, one)
+	wantQ.Mul(wantQ, big.NewInt(int64(n)))
+	if m.SumSquares.Cmp(wantQ) != 0 {
+		t.Errorf("Q = %v, want %v", m.SumSquares, wantQ)
+	}
+	if m.Variance.Sign() != 0 {
+		t.Errorf("variance = %v, want 0", m.Variance)
+	}
+}
+
+func TestMomentsChunkedAndPooled(t *testing.T) {
+	sk := testKey(t)
+	store := paillier.NewBitStore(tkKey.Public())
+	if err := store.Fill(100, 100); err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyst(sk, Config{
+		Link:      netsim.LongDistance,
+		ChunkSize: 16,
+		Pool:      paillier.SchemeBitStore{Store: store},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, _ := database.Generate(100, database.DistSmall, 31)
+	sel, _ := database.GenerateSelection(100, 40, database.PatternRandom, 32)
+	m, _, err := a.MomentsQuery(table, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean, _ := cleartextStats(table, sel)
+	gotMean, _ := m.Mean.Float64()
+	if math.Abs(gotMean-wantMean) > 1e-9*math.Max(1, wantMean) {
+		t.Errorf("mean = %v, want %v", gotMean, wantMean)
+	}
+}
+
+func TestAnalystValidation(t *testing.T) {
+	if _, err := NewAnalyst(nil, Config{Link: netsim.ShortDistance}); err == nil {
+		t.Error("nil key should fail")
+	}
+	if _, err := NewAnalyst(testKey(t), Config{}); err == nil {
+		t.Error("zero link should fail")
+	}
+	a := analyst(t)
+	table := database.New([]uint32{1, 2, 3})
+	shortSel, _ := database.NewSelection(2)
+	shortSel.Set(0)
+	if _, _, err := a.MomentsQuery(table, shortSel); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	empty, _ := database.NewSelection(3)
+	if _, _, err := a.MomentsQuery(table, empty); err != ErrEmptySelection {
+		t.Errorf("err = %v, want ErrEmptySelection", err)
+	}
+	if _, _, err := a.Variance(table, empty); err != ErrEmptySelection {
+		t.Errorf("Variance err = %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"io"
+	"sync"
+)
+
+// Meter counts bytes and frames moving through a connection. The netsim
+// package converts these counts into virtual communication time, and the
+// bench harness reports them directly (the paper's communication-complexity
+// axis).
+type Meter struct {
+	mu        sync.Mutex
+	bytesOut  int64
+	bytesIn   int64
+	framesOut int64
+	framesIn  int64
+}
+
+// AddOut records an outbound frame of n bytes.
+func (m *Meter) AddOut(n int) {
+	m.mu.Lock()
+	m.bytesOut += int64(n)
+	m.framesOut++
+	m.mu.Unlock()
+}
+
+// AddIn records an inbound frame of n bytes.
+func (m *Meter) AddIn(n int) {
+	m.mu.Lock()
+	m.bytesIn += int64(n)
+	m.framesIn++
+	m.mu.Unlock()
+}
+
+// Snapshot returns the current counters.
+func (m *Meter) Snapshot() (bytesOut, bytesIn, framesOut, framesIn int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesOut, m.bytesIn, m.framesOut, m.framesIn
+}
+
+// TotalBytes returns bytes moved in both directions.
+func (m *Meter) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesOut + m.bytesIn
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.bytesOut, m.bytesIn, m.framesOut, m.framesIn = 0, 0, 0, 0
+	m.mu.Unlock()
+}
+
+// Conn is a framed, metered, bidirectional channel. It is the only
+// transport type the protocol layer touches; it can sit on top of a real
+// net.Conn, an in-memory pipe, or a throttled netsim link.
+type Conn struct {
+	r io.Reader
+	w io.Writer
+	// c, when non-nil, is closed by Close.
+	c io.Closer
+
+	Meter *Meter
+
+	wmu sync.Mutex // serialize frame writes
+	rmu sync.Mutex // serialize frame reads
+}
+
+// NewConn wraps rw in a framed, metered connection. If rw also implements
+// io.Closer, Close forwards to it.
+func NewConn(rw io.ReadWriter) *Conn {
+	c := &Conn{r: rw, w: rw, Meter: &Meter{}}
+	if cl, ok := rw.(io.Closer); ok {
+		c.c = cl
+	}
+	return c
+}
+
+// Send writes one frame.
+func (c *Conn) Send(t MsgType, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	n, err := WriteFrame(c.w, t, payload)
+	if err != nil {
+		return err
+	}
+	c.Meter.AddOut(n)
+	return nil
+}
+
+// Recv reads one frame.
+func (c *Conn) Recv() (Frame, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	f, n, err := ReadFrame(c.r)
+	if err != nil {
+		return Frame{}, err
+	}
+	c.Meter.AddIn(n)
+	return f, nil
+}
+
+// SendError sends a MsgError frame with the given message; it is best
+// effort (the peer may already be gone) and returns the write error if any.
+func (c *Conn) SendError(msg string) error {
+	return c.Send(MsgError, EncodeError(msg))
+}
+
+// Close closes the underlying transport when it is closable.
+func (c *Conn) Close() error {
+	if c.c != nil {
+		return c.c.Close()
+	}
+	return nil
+}
+
+// FrameOverhead is the fixed per-frame header size in bytes.
+const FrameOverhead = 5
+
+// ChunkWireSize returns the exact on-the-wire size of a MsgIndexChunk
+// carrying count ciphertexts of the given width: header + offset + body.
+func ChunkWireSize(count, width int) int {
+	return FrameOverhead + 8 + count*width
+}

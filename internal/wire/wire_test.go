@@ -1,0 +1,285 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello, selected sum")
+	wn, err := WriteFrame(&buf, MsgHello, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wn != 5+len(payload) {
+		t.Errorf("wrote %d bytes, want %d", wn, 5+len(payload))
+	}
+	f, rn, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn != wn {
+		t.Errorf("read %d bytes, wrote %d", rn, wn)
+	}
+	if f.Type != MsgHello || !bytes.Equal(f.Payload, payload) {
+		t.Errorf("frame = %+v", f)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	prop := func(t8 uint8, payload []byte) bool {
+		var buf bytes.Buffer
+		if _, err := WriteFrame(&buf, MsgType(t8), payload); err != nil {
+			return false
+		}
+		f, _, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return f.Type == MsgType(t8) && bytes.Equal(f.Payload, payload)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, MsgDone, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != MsgDone || len(f.Payload) != 0 {
+		t.Errorf("frame = %+v", f)
+	}
+}
+
+func TestReadFrameRejectsOversizedDeclaration(t *testing.T) {
+	// Hand-craft a header declaring MaxFrame+1 bytes.
+	hdr := []byte{byte(MsgIndexChunk), 0xFF, 0xFF, 0xFF, 0xFF}
+	_, _, err := ReadFrame(bytes.NewReader(hdr))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, MsgSum, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for cut := 1; cut < len(b); cut++ {
+		if _, _, err := ReadFrame(bytes.NewReader(b[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes should fail", cut)
+		}
+	}
+}
+
+func TestWriteFrameRejectsHugePayload(t *testing.T) {
+	huge := make([]byte, MaxFrame+1)
+	if _, err := WriteFrame(io.Discard, MsgIndexChunk, huge); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := &Hello{
+		Version:   Version,
+		Scheme:    "paillier",
+		PublicKey: []byte{1, 2, 3, 4, 5},
+		VectorLen: 100000,
+		ChunkLen:  100,
+	}
+	got, err := DecodeHello(h.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != h.Version || got.Scheme != h.Scheme ||
+		!bytes.Equal(got.PublicKey, h.PublicKey) ||
+		got.VectorLen != h.VectorLen || got.ChunkLen != h.ChunkLen {
+		t.Errorf("got %+v, want %+v", got, h)
+	}
+}
+
+func TestHelloRoundTripProperty(t *testing.T) {
+	prop := func(scheme string, key []byte, n uint64, chunk uint32) bool {
+		if len(scheme) > 255 {
+			scheme = scheme[:255]
+		}
+		h := &Hello{Version: Version, Scheme: scheme, PublicKey: key, VectorLen: n, ChunkLen: chunk}
+		got, err := DecodeHello(h.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Scheme == scheme && bytes.Equal(got.PublicKey, key) &&
+			got.VectorLen == n && got.ChunkLen == chunk
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeHelloRejectsCorruption(t *testing.T) {
+	h := &Hello{Version: 1, Scheme: "paillier", PublicKey: []byte{9}, VectorLen: 5, ChunkLen: 1}
+	good := h.Encode()
+	cases := [][]byte{
+		nil,
+		good[:3],
+		good[:len(good)-1],
+		append(append([]byte{}, good...), 0xAA),
+	}
+	for i, b := range cases {
+		if _, err := DecodeHello(b); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// Absurd scheme length.
+	bad := append([]byte{}, good...)
+	bad[4], bad[5], bad[6], bad[7] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := DecodeHello(bad); err == nil {
+		t.Error("giant scheme length should fail")
+	}
+}
+
+func TestIndexChunkRoundTrip(t *testing.T) {
+	width := 16
+	body := make([]byte, 3*width)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	c := &IndexChunk{Offset: 4242, Ciphertexts: body, Width: width}
+	if c.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", c.Count())
+	}
+	got, err := DecodeIndexChunk(c.Encode(), width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Offset != 4242 || got.Count() != 3 {
+		t.Errorf("decoded %+v", got)
+	}
+	for i := 0; i < 3; i++ {
+		if !bytes.Equal(got.At(i), body[i*width:(i+1)*width]) {
+			t.Errorf("ciphertext %d corrupted", i)
+		}
+	}
+}
+
+func TestDecodeIndexChunkValidation(t *testing.T) {
+	if _, err := DecodeIndexChunk([]byte{1, 2, 3}, 16); err == nil {
+		t.Error("short chunk should fail")
+	}
+	if _, err := DecodeIndexChunk(make([]byte, 8+17), 16); err == nil {
+		t.Error("ragged body should fail")
+	}
+	if _, err := DecodeIndexChunk(make([]byte, 24), 0); err == nil {
+		t.Error("zero width should fail")
+	}
+	// Empty body is a legal (if useless) chunk.
+	c, err := DecodeIndexChunk(make([]byte, 8), 16)
+	if err != nil || c.Count() != 0 {
+		t.Errorf("empty chunk: %v, count %d", err, c.Count())
+	}
+}
+
+func TestMeterCounts(t *testing.T) {
+	var m Meter
+	m.AddOut(100)
+	m.AddOut(50)
+	m.AddIn(7)
+	out, in, fo, fi := m.Snapshot()
+	if out != 150 || in != 7 || fo != 2 || fi != 1 {
+		t.Errorf("snapshot = (%d,%d,%d,%d)", out, in, fo, fi)
+	}
+	if m.TotalBytes() != 157 {
+		t.Errorf("TotalBytes = %d", m.TotalBytes())
+	}
+	m.Reset()
+	if m.TotalBytes() != 0 {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+func TestConnOverPipe(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		f, err := cb.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		if f.Type != MsgHello {
+			done <- errors.New("wrong type")
+			return
+		}
+		done <- cb.Send(MsgSum, []byte("response"))
+	}()
+
+	if err := ca.Send(MsgHello, []byte("request")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ca.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Payload) != "response" {
+		t.Errorf("payload = %q", f.Payload)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	out, in, _, _ := ca.Meter.Snapshot()
+	if out != int64(5+len("request")) || in != int64(5+len("response")) {
+		t.Errorf("meter = (%d, %d)", out, in)
+	}
+}
+
+func TestConnSendError(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+	go func() { _ = ca.SendError("database on fire") }()
+	f, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != MsgError {
+		t.Fatalf("type = %v", f.Type)
+	}
+	perr := DecodeError(f.Payload)
+	if !strings.Contains(perr.Error(), "database on fire") {
+		t.Errorf("err = %v", perr)
+	}
+}
+
+func TestChunkWireSize(t *testing.T) {
+	// Must agree byte-for-byte with what Send(MsgIndexChunk, Encode()) puts
+	// on the wire.
+	width := 32
+	body := make([]byte, 5*width)
+	c := &IndexChunk{Offset: 0, Ciphertexts: body, Width: width}
+	var buf bytes.Buffer
+	n, err := WriteFrame(&buf, MsgIndexChunk, c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ChunkWireSize(5, width); got != n {
+		t.Errorf("ChunkWireSize = %d, actual frame = %d", got, n)
+	}
+}

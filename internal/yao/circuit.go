@@ -1,0 +1,277 @@
+// Package yao implements a miniature Yao garbled-circuit system and a cost
+// model for the paper's general-SMC comparison.
+//
+// Section 2 of the paper dismisses generic secure multiparty computation
+// for the selected-sum problem by citing the Fairplay implementation of
+// Yao's protocol: "an execution time of at least 15 minutes for a database
+// of only 1,000 elements". We cannot rerun 2004's Fairplay, so this package
+// reproduces the comparison from first principles (DESIGN.md §2):
+//
+//   - a real, executable garbled-circuit generator/evaluator
+//     (point-and-permute, SHA-256 tables) over boolean circuits;
+//   - a circuit builder for the n-element selected sum;
+//   - a cost model that extrapolates the measured per-gate constants to
+//     database sizes where actually garbling the circuit would be absurd —
+//     which is precisely the paper's point.
+package yao
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GateOp is a two-input boolean gate type.
+type GateOp uint8
+
+// Supported gate operations.
+const (
+	OpAND GateOp = iota
+	OpXOR
+	OpOR
+	// OpNOTA outputs ¬a, ignoring the b input (wired to a).
+	OpNOTA
+)
+
+// String implements fmt.Stringer.
+func (op GateOp) String() string {
+	switch op {
+	case OpAND:
+		return "AND"
+	case OpXOR:
+		return "XOR"
+	case OpOR:
+		return "OR"
+	case OpNOTA:
+		return "NOT"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// Eval computes the gate on cleartext bits.
+func (op GateOp) Eval(a, b uint8) uint8 {
+	switch op {
+	case OpAND:
+		return a & b
+	case OpXOR:
+		return a ^ b
+	case OpOR:
+		return a | b
+	case OpNOTA:
+		return a ^ 1
+	default:
+		panic("yao: unknown gate op")
+	}
+}
+
+// Gate connects two input wires to one output wire.
+type Gate struct {
+	Op   GateOp
+	A, B int // input wire ids
+	Out  int // output wire id
+}
+
+// Circuit is a boolean circuit in topological order: gate inputs are either
+// circuit inputs or outputs of earlier gates.
+type Circuit struct {
+	// NumInputs is the count of input wires; wires [0, NumInputs) are
+	// inputs, gate outputs follow.
+	NumInputs int
+	Gates     []Gate
+	// Outputs lists the wire ids holding the circuit result.
+	Outputs []int
+
+	numWires   int
+	cachedZero int // shared constant-0 wire id, 0 when not yet built
+}
+
+// NewCircuit starts a circuit with the given number of input wires.
+func NewCircuit(numInputs int) (*Circuit, error) {
+	if numInputs < 1 {
+		return nil, errors.New("yao: circuit needs at least one input")
+	}
+	return &Circuit{NumInputs: numInputs, numWires: numInputs}, nil
+}
+
+// AddGate appends a gate reading wires a and b and returns its output wire.
+func (c *Circuit) AddGate(op GateOp, a, b int) (int, error) {
+	if a < 0 || a >= c.numWires || b < 0 || b >= c.numWires {
+		return 0, fmt.Errorf("yao: gate inputs (%d,%d) out of range [0,%d)", a, b, c.numWires)
+	}
+	out := c.numWires
+	c.numWires++
+	c.Gates = append(c.Gates, Gate{Op: op, A: a, B: b, Out: out})
+	return out, nil
+}
+
+// NumWires returns the total wire count.
+func (c *Circuit) NumWires() int { return c.numWires }
+
+// EvalClear evaluates the circuit on cleartext input bits — the correctness
+// oracle for the garbled evaluation.
+func (c *Circuit) EvalClear(inputs []uint8) ([]uint8, error) {
+	if len(inputs) != c.NumInputs {
+		return nil, fmt.Errorf("yao: %d inputs for %d input wires", len(inputs), c.NumInputs)
+	}
+	wires := make([]uint8, c.numWires)
+	copy(wires, inputs)
+	for _, g := range c.Gates {
+		wires[g.Out] = g.Op.Eval(wires[g.A], wires[g.B])
+	}
+	out := make([]uint8, len(c.Outputs))
+	for i, w := range c.Outputs {
+		if w < 0 || w >= c.numWires {
+			return nil, fmt.Errorf("yao: output wire %d out of range", w)
+		}
+		out[i] = wires[w]
+	}
+	return out, nil
+}
+
+// addRippleAdder wires an accWidth-bit ripple-carry adder adding the
+// addend wires into the accumulator wires, returning the new accumulator
+// wires (the carry out is dropped: the accumulator is sized to never
+// overflow). addend may be narrower than acc; missing high bits are zero
+// and their full-adder reduces to a half-adder.
+func (c *Circuit) addRippleAdder(acc, addend []int) ([]int, error) {
+	out := make([]int, len(acc))
+	carry := -1 // no carry into bit 0
+	for i := range acc {
+		var a, b = acc[i], -1
+		if i < len(addend) {
+			b = addend[i]
+		}
+		switch {
+		case b == -1 && carry == -1:
+			out[i] = a
+		case b == -1:
+			// half adder with carry: s = a^c, c' = a&c
+			s, err := c.AddGate(OpXOR, a, carry)
+			if err != nil {
+				return nil, err
+			}
+			nc, err := c.AddGate(OpAND, a, carry)
+			if err != nil {
+				return nil, err
+			}
+			out[i], carry = s, nc
+		case carry == -1:
+			s, err := c.AddGate(OpXOR, a, b)
+			if err != nil {
+				return nil, err
+			}
+			nc, err := c.AddGate(OpAND, a, b)
+			if err != nil {
+				return nil, err
+			}
+			out[i], carry = s, nc
+		default:
+			// full adder: s = a^b^c; c' = (a&b) | (c & (a^b))
+			axb, err := c.AddGate(OpXOR, a, b)
+			if err != nil {
+				return nil, err
+			}
+			s, err := c.AddGate(OpXOR, axb, carry)
+			if err != nil {
+				return nil, err
+			}
+			ab, err := c.AddGate(OpAND, a, b)
+			if err != nil {
+				return nil, err
+			}
+			cx, err := c.AddGate(OpAND, carry, axb)
+			if err != nil {
+				return nil, err
+			}
+			nc, err := c.AddGate(OpOR, ab, cx)
+			if err != nil {
+				return nil, err
+			}
+			out[i], carry = s, nc
+		}
+	}
+	return out, nil
+}
+
+// SelectedSumCircuit builds the boolean circuit computing
+// Σ I_i·x_i for n database elements of valueBits bits each. Inputs are laid
+// out as: n client selector bits, then n·valueBits server value bits
+// (little-endian per value). The output is the sum, sumBits(n, valueBits)
+// wide. This is the circuit Fairplay would have to garble for the paper's
+// comparison.
+func SelectedSumCircuit(n, valueBits int) (*Circuit, error) {
+	if n < 1 || valueBits < 1 || valueBits > 64 {
+		return nil, fmt.Errorf("yao: bad circuit parameters n=%d valueBits=%d", n, valueBits)
+	}
+	width := sumBits(n, valueBits)
+	c, err := NewCircuit(n + n*valueBits)
+	if err != nil {
+		return nil, err
+	}
+	// Accumulator starts as the first masked value; acc wires below width
+	// are filled in lazily as -1 (constant zero) to avoid constant wires.
+	var acc []int
+	for i := 0; i < n; i++ {
+		sel := i
+		valBase := n + i*valueBits
+		masked := make([]int, valueBits)
+		for b := 0; b < valueBits; b++ {
+			w, err := c.AddGate(OpAND, sel, valBase+b)
+			if err != nil {
+				return nil, err
+			}
+			masked[b] = w
+		}
+		if acc == nil {
+			acc = make([]int, width)
+			for b := range acc {
+				if b < valueBits {
+					acc[b] = masked[b]
+				} else {
+					// Zero-extend: reuse (sel AND NOT sel) = 0? Cheaper: a
+					// single shared zero wire built once from input 0.
+					zero, err := c.zeroWire()
+					if err != nil {
+						return nil, err
+					}
+					acc[b] = zero
+				}
+			}
+			continue
+		}
+		acc, err = c.addRippleAdder(acc, masked)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.Outputs = acc
+	return c, nil
+}
+
+// zeroWire returns a wire that always carries 0, built once as
+// input0 XOR input0... which is not expressible with distinct wires; use
+// AND(x, NOT x).
+func (c *Circuit) zeroWire() (int, error) {
+	if c.cachedZero != 0 {
+		return c.cachedZero, nil
+	}
+	notx, err := c.AddGate(OpNOTA, 0, 0)
+	if err != nil {
+		return 0, err
+	}
+	z, err := c.AddGate(OpAND, 0, notx)
+	if err != nil {
+		return 0, err
+	}
+	c.cachedZero = z
+	return z, nil
+}
+
+// sumBits returns the width needed for a sum of n valueBits-bit values.
+func sumBits(n, valueBits int) int {
+	extra := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		extra++
+	}
+	return valueBits + extra
+}

@@ -1,0 +1,274 @@
+package yao
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"privstats/internal/netsim"
+)
+
+func TestGateOpEval(t *testing.T) {
+	cases := []struct {
+		op      GateOp
+		a, b, w uint8
+	}{
+		{OpAND, 1, 1, 1}, {OpAND, 1, 0, 0}, {OpAND, 0, 0, 0},
+		{OpXOR, 1, 1, 0}, {OpXOR, 1, 0, 1}, {OpXOR, 0, 0, 0},
+		{OpOR, 0, 0, 0}, {OpOR, 1, 0, 1}, {OpOR, 1, 1, 1},
+		{OpNOTA, 0, 0, 1}, {OpNOTA, 1, 1, 0},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.w {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.w)
+		}
+	}
+}
+
+func TestCircuitValidation(t *testing.T) {
+	if _, err := NewCircuit(0); err == nil {
+		t.Error("zero inputs should fail")
+	}
+	c, err := NewCircuit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGate(OpAND, 0, 5); err == nil {
+		t.Error("dangling input should fail")
+	}
+	if _, err := c.EvalClear([]uint8{1}); err == nil {
+		t.Error("wrong input count should fail")
+	}
+}
+
+func TestSelectedSumCircuitClear(t *testing.T) {
+	// n=4, 4-bit values: verify against direct arithmetic for all
+	// selector patterns on fixed values.
+	const n, vb = 4, 4
+	values := []uint64{5, 12, 7, 15}
+	c, err := SelectedSumCircuit(n, vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		inputs := make([]uint8, c.NumInputs)
+		var want uint64
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 1 {
+				inputs[i] = 1
+				want += values[i]
+			}
+			for b := 0; b < vb; b++ {
+				inputs[n+i*vb+b] = uint8(values[i] >> b & 1)
+			}
+		}
+		out, err := c.EvalClear(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got uint64
+		for b, bit := range out {
+			got |= uint64(bit) << b
+		}
+		if got != want {
+			t.Fatalf("mask %04b: circuit says %d, want %d", mask, got, want)
+		}
+	}
+}
+
+func TestGarbledEvaluationMatchesClear(t *testing.T) {
+	const n, vb = 6, 8
+	c, err := SelectedSumCircuit(n, vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := Garble(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed uint64) bool {
+		inputs := make([]uint8, c.NumInputs)
+		s := seed
+		for i := range inputs {
+			s = s*6364136223846793005 + 1442695040888963407
+			inputs[i] = uint8(s >> 63)
+		}
+		want, err := c.EvalClear(inputs)
+		if err != nil {
+			return false
+		}
+		labels, err := gc.EncodeInputs(inputs)
+		if err != nil {
+			return false
+		}
+		got, err := gc.Evaluate(labels)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGarbleValidation(t *testing.T) {
+	if _, err := Garble(nil); err == nil {
+		t.Error("nil circuit should fail")
+	}
+	c, _ := NewCircuit(2)
+	if _, err := Garble(c); err == nil {
+		t.Error("no-output circuit should fail")
+	}
+	cc, _ := SelectedSumCircuit(2, 2)
+	gc, err := Garble(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gc.EncodeInputs([]uint8{1}); err == nil {
+		t.Error("wrong input count should fail")
+	}
+	if _, err := gc.EncodeInputs(make([]uint8, cc.NumInputs+1)); err == nil {
+		t.Error("long input should fail")
+	}
+	bad := make([]uint8, cc.NumInputs)
+	bad[0] = 2
+	if _, err := gc.EncodeInputs(bad); err == nil {
+		t.Error("non-bit input should fail")
+	}
+	if _, err := gc.Evaluate(nil); err == nil {
+		t.Error("missing labels should fail")
+	}
+	// Evaluator cannot encode inputs.
+	eval := &GarbledCircuit{Circuit: cc, Tables: gc.Tables, OutputPerm: gc.OutputPerm}
+	if _, err := eval.EncodeInputs(make([]uint8, cc.NumInputs)); err == nil {
+		t.Error("evaluator-side encode should fail")
+	}
+}
+
+func TestCountSelectedSumGatesMatchesBuilder(t *testing.T) {
+	for _, tc := range []struct{ n, vb int }{
+		{1, 1}, {1, 8}, {2, 4}, {3, 5}, {7, 8}, {16, 16}, {33, 32},
+	} {
+		c, err := SelectedSumCircuit(tc.n, tc.vb)
+		if err != nil {
+			t.Fatalf("n=%d vb=%d: %v", tc.n, tc.vb, err)
+		}
+		gc, err := CountSelectedSumGates(tc.n, tc.vb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gc.Total != int64(len(c.Gates)) {
+			t.Errorf("n=%d vb=%d: analytic %d gates, builder %d", tc.n, tc.vb, gc.Total, len(c.Gates))
+		}
+	}
+}
+
+func TestCountValidation(t *testing.T) {
+	if _, err := CountSelectedSumGates(0, 8); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := CountSelectedSumGates(4, 65); err == nil {
+		t.Error("vb>64 should fail")
+	}
+	if _, err := SelectedSumCircuit(0, 8); err == nil {
+		t.Error("builder n=0 should fail")
+	}
+}
+
+func TestCalibrateAndEstimate(t *testing.T) {
+	m, err := Calibrate(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GarblePerGate <= 0 || m.EvalPerGate <= 0 {
+		t.Fatalf("calibration produced %+v", m)
+	}
+	est, err := m.SelectedSum(1000, 32, netsim.ShortDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Gates < 100_000 {
+		t.Errorf("1000-element circuit has %d gates, expected > 100k", est.Gates)
+	}
+	if est.Total <= 0 || est.WireBytes <= 0 {
+		t.Errorf("degenerate estimate %+v", est)
+	}
+	// OT for 1000 selection bits at 1ms each is already a second.
+	if est.OTTime != time.Second {
+		t.Errorf("OT time = %v, want 1s", est.OTTime)
+	}
+	// Uncalibrated model must refuse.
+	if _, err := (CostModel{}).SelectedSum(10, 8, netsim.ShortDistance); err == nil {
+		t.Error("uncalibrated model should fail")
+	}
+	if _, err := m.SelectedSum(10, 8, netsim.Link{}); err == nil {
+		t.Error("bad link should fail")
+	}
+}
+
+func TestEstimateScalesLinearly(t *testing.T) {
+	m := CostModel{
+		GarblePerGate: time.Microsecond,
+		EvalPerGate:   time.Microsecond,
+		OTPerBit:      time.Millisecond,
+		BytesPerGate:  77,
+		BytesPerOT:    384,
+	}
+	e1, err := m.SelectedSum(1000, 32, netsim.ShortDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e10, err := m.SelectedSum(10000, 32, netsim.ShortDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(e10.Gates) / float64(e1.Gates)
+	if ratio < 9 || ratio > 11.5 {
+		t.Errorf("gate count should scale ~linearly, got ratio %.2f", ratio)
+	}
+}
+
+func BenchmarkGarblePerGate(b *testing.B) {
+	c, err := SelectedSumCircuit(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Garble(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(c.Gates)), "gates/op")
+}
+
+func BenchmarkEvaluatePerGate(b *testing.B) {
+	c, err := SelectedSumCircuit(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gc, err := Garble(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels, err := gc.EncodeInputs(make([]uint8, c.NumInputs))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gc.Evaluate(labels); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(c.Gates)), "gates/op")
+}
