@@ -1,0 +1,32 @@
+# privstats build/verify targets. `make check` is the PR gate: formatting,
+# vet, the full test suite, and race-detector runs on the concurrency-heavy
+# runtime packages.
+
+GO ?= go
+
+.PHONY: all build test race fmt vet check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the packages with real concurrency: the server runtime and
+# the protocol layer it drives.
+race:
+	$(GO) test -race ./internal/server/ ./internal/selectedsum/
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet build test race
+	@echo "check: all clean"

@@ -1,25 +1,38 @@
 // Command sumserver runs the database side of the private selected-sum
 // protocol over TCP. It loads (or generates) a table of 32-bit values and
-// answers one session per connection, never learning which rows any client
-// asked about.
+// answers selected-sum sessions, never learning which rows any client asked
+// about.
+//
+// Sessions run through the internal/server runtime: concurrent sessions are
+// capped (-max-sessions, overflow connections get a fast busy reply), quiet
+// clients are timed out (-idle-timeout), transient accept errors are
+// retried with backoff, and SIGINT/SIGTERM drain in-flight sessions for up
+// to -grace before exiting. Live counters are served as JSON from
+// http://<-stats-addr>/stats when set.
 //
 // Usage:
 //
 //	sumserver -listen :7001 -generate 100000
-//	sumserver -listen :7001 -db table.psdb
+//	sumserver -listen :7001 -db table.psdb -max-sessions 16 -stats-addr :7002
 //	sumserver -listen :7001 -generate 10000 -throttle modem   # demo a 56Kbps link
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"privstats/internal/database"
 	"privstats/internal/netsim"
-	"privstats/internal/selectedsum"
+	"privstats/internal/server"
 	"privstats/internal/wire"
 
 	// Accepted cryptosystems register themselves with the scheme registry.
@@ -27,6 +40,11 @@ import (
 	_ "privstats/internal/crypto/elgamal"
 	_ "privstats/internal/paillier"
 )
+
+// errNoSource is returned by loadTable when neither -db nor -generate was
+// given; main responds with usage + exit 2 (the old code called os.Exit
+// from inside loadTable, which skipped deferred cleanup and was untestable).
+var errNoSource = errors.New("need -db or -generate")
 
 func main() {
 	listen := flag.String("listen", ":7001", "address to listen on")
@@ -36,9 +54,43 @@ func main() {
 	save := flag.String("save", "", "write the generated table to this path and keep serving")
 	throttle := flag.String("throttle", "", "simulate a link on each connection: 'modem' (56Kbps), 'wireless' (1Mbps), or empty for none")
 	once := flag.Bool("once", false, "serve a single session and exit (used by scripts and tests)")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "max concurrent sessions; overflow connections get a busy error")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "fail a session whose client sends nothing for this long (0 = never)")
+	sessionTimeout := flag.Duration("session-timeout", 0, "hard cap on a whole session (0 = none)")
+	grace := flag.Duration("grace", 30*time.Second, "drain window for in-flight sessions on SIGINT/SIGTERM")
+	statsAddr := flag.String("stats-addr", "", "serve live metrics as JSON on http://<addr>/stats (empty = off)")
+	logEvery := flag.Duration("log-every", time.Minute, "interval for the periodic metrics log line (0 = off)")
 	flag.Parse()
 
+	// Reject a bad throttle name now rather than on every connection —
+	// wrapConn runs per session, so without this check the server would
+	// start fine and then fail each client with a confusing wrap error.
+	switch *throttle {
+	case "", "modem", "wireless":
+	default:
+		log.Fatalf("sumserver: unknown -throttle %q (want modem, wireless, or empty)", *throttle)
+	}
+
 	table, err := loadTable(*dbPath, *generate, *seed, *save)
+	if errors.Is(err, errNoSource) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("sumserver: %v", err)
+	}
+
+	cfg := server.Config{
+		MaxSessions:    *maxSessions,
+		IdleTimeout:    *idleTimeout,
+		SessionTimeout: *sessionTimeout,
+		LogEvery:       *logEvery,
+		WrapConn:       func(c net.Conn) (*wire.Conn, error) { return wrapConn(c, *throttle) },
+	}
+	if *once {
+		cfg.SessionLimit = 1
+	}
+	srv, err := server.New(table, cfg)
 	if err != nil {
 		log.Fatalf("sumserver: %v", err)
 	}
@@ -47,36 +99,51 @@ func main() {
 	if err != nil {
 		log.Fatalf("sumserver: listen: %v", err)
 	}
-	defer ln.Close()
-	log.Printf("serving %d rows on %s (throttle=%q)", table.Len(), ln.Addr(), *throttle)
+	log.Printf("serving %d rows on %s (throttle=%q, max-sessions=%d)", table.Len(), ln.Addr(), *throttle, *maxSessions)
 
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Fatalf("sumserver: accept: %v", err)
-		}
-		handle := func(c net.Conn) {
-			defer c.Close()
-			wc, err := wrapConn(c, *throttle)
-			if err != nil {
-				log.Printf("session setup: %v", err)
-				return
+	var stats *http.Server
+	if *statsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/stats", srv.Metrics().Handler())
+		stats = &http.Server{Addr: *statsAddr, Handler: mux}
+		go func() {
+			log.Printf("stats endpoint on http://%s/stats", *statsAddr)
+			if err := stats.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("sumserver: stats endpoint: %v", err)
 			}
-			if err := selectedsum.Serve(wc, table); err != nil {
-				log.Printf("session from %s failed: %v", c.RemoteAddr(), err)
-				return
-			}
-			out, in, _, _ := wc.Meter.Snapshot()
-			log.Printf("session from %s complete: %d bytes in, %d bytes out", c.RemoteAddr(), in, out)
-		}
-		if *once {
-			handle(conn)
-			return
-		}
-		go handle(conn)
+		}()
 	}
+
+	// SIGINT/SIGTERM begin a graceful drain bounded by -grace.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-sigCtx.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		log.Printf("shutdown requested; draining up to %v", *grace)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("sumserver: forced shutdown after grace period: %v", err)
+		}
+	}()
+
+	err = srv.Serve(ln)
+	if err != nil && err != server.ErrServerClosed {
+		log.Fatalf("sumserver: %v", err)
+	}
+	// Serve returned because shutdown began (signal or -once); finish the
+	// drain before reporting final stats.
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	if stats != nil {
+		_ = stats.Shutdown(context.Background())
+	}
+	log.Printf("final: %s", srv.Metrics().Summary())
 }
 
+// loadTable resolves the table source from flags. It returns errNoSource
+// when neither source flag was given.
 func loadTable(dbPath string, generate int, seed int64, save string) (*database.Table, error) {
 	switch {
 	case dbPath != "" && generate > 0:
@@ -96,9 +163,7 @@ func loadTable(dbPath string, generate int, seed int64, save string) (*database.
 		}
 		return table, nil
 	default:
-		flag.Usage()
-		os.Exit(2)
-		return nil, nil
+		return nil, errNoSource
 	}
 }
 

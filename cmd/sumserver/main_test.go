@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"net"
 	"path/filepath"
 	"testing"
@@ -39,6 +40,16 @@ func TestLoadTableGenerateAndSaveThenLoad(t *testing.T) {
 func TestLoadTableRejectsBothSources(t *testing.T) {
 	if _, err := loadTable("x.psdb", 100, 1, ""); err == nil {
 		t.Error("both -db and -generate should fail")
+	}
+}
+
+func TestLoadTableNoSourceReturnsError(t *testing.T) {
+	// The old implementation called os.Exit(2) here, which skipped
+	// deferred cleanup and made this path untestable; now main owns the
+	// exit decision.
+	_, err := loadTable("", 0, 0, "")
+	if !errors.Is(err, errNoSource) {
+		t.Errorf("err = %v, want errNoSource", err)
 	}
 }
 

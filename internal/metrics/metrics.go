@@ -1,0 +1,275 @@
+// Package metrics provides the lightweight observability substrate for the
+// server runtime: lock-free counters and gauges, streaming histograms with
+// exponential buckets, and a JSON snapshot the -stats-addr endpoint serves.
+//
+// The package deliberately has no external dependencies — the ROADMAP's
+// production target is a pure-stdlib system — and every primitive is safe
+// for concurrent use by many session goroutines. Histograms trade exactness
+// for O(1) memory: observations land in power-of-two buckets, and quantiles
+// are estimated by linear interpolation inside the winning bucket, which is
+// plenty for a latency summary (the error is bounded by one bucket width).
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n must be non-negative).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that can move both ways. It also
+// tracks the high-water mark, which the admission-control tests use to
+// assert the concurrency cap was honored.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Inc increases the gauge by one and updates the high-water mark.
+func (g *Gauge) Inc() {
+	now := g.v.Add(1)
+	for {
+		m := g.max.Load()
+		if now <= m || g.max.CompareAndSwap(m, now) {
+			return
+		}
+	}
+}
+
+// Dec decreases the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Max returns the highest level the gauge ever reached.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// histBuckets is the number of power-of-two buckets: bucket i holds
+// observations v with bitlen(v) == i, i.e. v in [2^(i-1), 2^i). 64 buckets
+// cover the full non-negative int64 range.
+const histBuckets = 64
+
+// Histogram is a streaming histogram over non-negative int64 observations
+// (typically nanoseconds or bytes). It keeps count, sum, min, max, and
+// power-of-two buckets; quantiles are interpolated. The zero value is ready
+// to use.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [histBuckets]int64
+}
+
+// Observe records one observation. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(uint64(v))]++
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// HistogramSnapshot is a point-in-time summary of a Histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot returns the current summary.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = float64(h.sum) / float64(h.count)
+		s.P50 = h.quantileLocked(0.50)
+		s.P95 = h.quantileLocked(0.95)
+		s.P99 = h.quantileLocked(0.99)
+	}
+	return s
+}
+
+// quantileLocked estimates the q-quantile by walking the buckets and
+// interpolating linearly within the bucket where the target rank lands.
+// Callers must hold h.mu.
+func (h *Histogram) quantileLocked(q float64) int64 {
+	rank := q * float64(h.count)
+	var seen float64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+float64(n) >= rank {
+			// Bucket i spans [lo, hi): bucket 0 is exactly {0}.
+			var lo, hi float64
+			if i == 0 {
+				return clampBucket(0, h.min, h.max)
+			}
+			lo = math.Exp2(float64(i - 1))
+			hi = math.Exp2(float64(i))
+			frac := (rank - seen) / float64(n)
+			return clampBucket(int64(lo+(hi-lo)*frac), h.min, h.max)
+		}
+		seen += float64(n)
+	}
+	return h.max
+}
+
+// clampBucket keeps interpolated quantiles inside the observed range so a
+// single observation reports p50 == p99 == the value itself.
+func clampBucket(v, min, max int64) int64 {
+	if v < min {
+		return min
+	}
+	if v > max {
+		return max
+	}
+	return v
+}
+
+// ServerMetrics aggregates everything the server runtime records. All fields
+// are safe for concurrent use; the server feeds them and the stats endpoint,
+// periodic log summary, and tests read them.
+type ServerMetrics struct {
+	// Session lifecycle counters. The reconciliation invariant — checked by
+	// tests and worth alerting on in production — is
+	// Started == Completed + Failed + Active. Rejected sessions never start.
+	SessionsStarted   Counter
+	SessionsCompleted Counter
+	SessionsFailed    Counter
+	SessionsRejected  Counter
+	ActiveSessions    Gauge
+
+	// Transport volume, summed over finished sessions from the wire meter.
+	BytesIn  Counter
+	BytesOut Counter
+
+	// Runtime health.
+	AcceptErrors  Counter // transient accept failures survived via backoff
+	SessionPanics Counter // sessions that panicked (isolated, counted failed)
+
+	// Per-phase server-side compute durations (nanoseconds) and the
+	// whole-session wall time.
+	HelloNanos    Histogram
+	AbsorbNanos   Histogram
+	FinalizeNanos Histogram
+	SessionNanos  Histogram
+
+	start sync.Once
+	since atomic.Int64 // unix nanos of first StartClock call
+}
+
+// StartClock records the server start time for the uptime field; the first
+// call wins.
+func (m *ServerMetrics) StartClock(now time.Time) {
+	m.start.Do(func() { m.since.Store(now.UnixNano()) })
+}
+
+// Snapshot is the JSON document the /stats endpoint serves. The schema is
+// documented in DESIGN.md §8.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Sessions      struct {
+		Started   int64 `json:"started"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+		Rejected  int64 `json:"rejected"`
+		Active    int64 `json:"active"`
+		MaxActive int64 `json:"max_active"`
+	} `json:"sessions"`
+	Bytes struct {
+		In  int64 `json:"in"`
+		Out int64 `json:"out"`
+	} `json:"bytes"`
+	AcceptErrors  int64                        `json:"accept_errors"`
+	SessionPanics int64                        `json:"session_panics"`
+	PhaseNanos    map[string]HistogramSnapshot `json:"phase_nanos"`
+}
+
+// Snapshot captures the current state of every metric.
+func (m *ServerMetrics) Snapshot(now time.Time) Snapshot {
+	var s Snapshot
+	if since := m.since.Load(); since != 0 {
+		s.UptimeSeconds = now.Sub(time.Unix(0, since)).Seconds()
+	}
+	s.Sessions.Started = m.SessionsStarted.Value()
+	s.Sessions.Completed = m.SessionsCompleted.Value()
+	s.Sessions.Failed = m.SessionsFailed.Value()
+	s.Sessions.Rejected = m.SessionsRejected.Value()
+	s.Sessions.Active = m.ActiveSessions.Value()
+	s.Sessions.MaxActive = m.ActiveSessions.Max()
+	s.Bytes.In = m.BytesIn.Value()
+	s.Bytes.Out = m.BytesOut.Value()
+	s.AcceptErrors = m.AcceptErrors.Value()
+	s.SessionPanics = m.SessionPanics.Value()
+	s.PhaseNanos = map[string]HistogramSnapshot{
+		"hello":    m.HelloNanos.Snapshot(),
+		"absorb":   m.AbsorbNanos.Snapshot(),
+		"finalize": m.FinalizeNanos.Snapshot(),
+		"session":  m.SessionNanos.Snapshot(),
+	}
+	return s
+}
+
+// Summary returns a one-line human summary for the periodic log.
+func (m *ServerMetrics) Summary() string {
+	sess := m.SessionNanos.Snapshot()
+	return fmt.Sprintf(
+		"sessions: %d started, %d completed, %d failed, %d rejected, %d active (peak %d); bytes: %d in, %d out; session p50=%s p99=%s",
+		m.SessionsStarted.Value(), m.SessionsCompleted.Value(),
+		m.SessionsFailed.Value(), m.SessionsRejected.Value(),
+		m.ActiveSessions.Value(), m.ActiveSessions.Max(),
+		m.BytesIn.Value(), m.BytesOut.Value(),
+		time.Duration(sess.P50), time.Duration(sess.P99),
+	)
+}
+
+// Handler returns an http.Handler serving the JSON snapshot. Mounted by
+// cmd/sumserver at /stats when -stats-addr is set.
+func (m *ServerMetrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(m.Snapshot(time.Now())); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

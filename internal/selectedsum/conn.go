@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"time"
 
 	"privstats/internal/database"
 	"privstats/internal/homomorphic"
@@ -16,13 +17,39 @@ import (
 // in-process Run in run.go is the measurement engine; this is the deployable
 // one. Both share ServerSession and BitEncryptor, so they cannot drift.
 
+// PhaseTimings records the server-side compute cost of one session, broken
+// into the protocol's phases. Durations cover the server's own work only —
+// waiting in Recv for the client is excluded — so the numbers stay
+// meaningful for capacity planning even over slow or idle links. The server
+// runtime feeds them into its per-phase histograms.
+type PhaseTimings struct {
+	// Hello is parsing the hello and building the session (key parse
+	// included — for Paillier that is a couple of big.Int reads).
+	Hello time.Duration
+	// Absorb is the homomorphic folding of all index chunks — the
+	// Π E(I_i)^{x_i} work that dominates Figure 1's server cost.
+	Absorb time.Duration
+	// Finalize is the final rerandomization plus encoding the response.
+	Finalize time.Duration
+}
+
 // Serve answers exactly one selected-sum session on conn: it reads the
 // Hello, absorbs index chunks until MsgDone, and replies with the encrypted
 // sum. Protocol violations are reported to the peer via MsgError before
 // returning the error.
 func Serve(conn *wire.Conn, table *database.Table) error {
+	return ServeTimed(conn, table, nil)
+}
+
+// ServeTimed is Serve with per-phase timing capture: when timings is
+// non-nil it is filled in as the session progresses, so a caller observing
+// a failed session still sees the phases that completed.
+func ServeTimed(conn *wire.Conn, table *database.Table, timings *PhaseTimings) error {
 	if table == nil {
 		return errors.New("selectedsum: nil table")
+	}
+	if timings == nil {
+		timings = &PhaseTimings{}
 	}
 	// fail reports a protocol error to the peer. The client may still be
 	// streaming its index vector, and on an unbuffered transport
@@ -53,6 +80,7 @@ func Serve(conn *wire.Conn, table *database.Table) error {
 	if err != nil {
 		return fmt.Errorf("selectedsum: reading hello: %w", err)
 	}
+	helloStart := time.Now()
 	if f.Type != wire.MsgHello {
 		return fail(fmt.Errorf("selectedsum: expected hello, got message type %#x", byte(f.Type)))
 	}
@@ -71,6 +99,7 @@ func Serve(conn *wire.Conn, table *database.Table) error {
 	if err != nil {
 		return fail(err)
 	}
+	timings.Hello = time.Since(helloStart)
 
 	width := pk.CiphertextSize()
 	for {
@@ -80,6 +109,7 @@ func Serve(conn *wire.Conn, table *database.Table) error {
 		}
 		switch f.Type {
 		case wire.MsgIndexChunk:
+			chunkStart := time.Now()
 			chunk, err := wire.DecodeIndexChunk(f.Payload, width)
 			if err != nil {
 				return fail(err)
@@ -87,12 +117,16 @@ func Serve(conn *wire.Conn, table *database.Table) error {
 			if err := srv.Absorb(chunk); err != nil {
 				return fail(err)
 			}
+			timings.Absorb += time.Since(chunkStart)
 		case wire.MsgDone:
+			finStart := time.Now()
 			sumCt, err := srv.Finalize(nil)
 			if err != nil {
 				return fail(err)
 			}
-			if err := conn.Send(wire.MsgSum, sumCt.Bytes()); err != nil {
+			body := sumCt.Bytes()
+			timings.Finalize = time.Since(finStart)
+			if err := conn.Send(wire.MsgSum, body); err != nil {
 				return fmt.Errorf("selectedsum: sending sum: %w", err)
 			}
 			return nil
@@ -145,6 +179,13 @@ func Query(conn *wire.Conn, sk homomorphic.PrivateKey, sel *database.Selection, 
 // weighted-sum generalization of the paper's Section 2 ("integer weights in
 // some larger range could be used"). The server is oblivious to the
 // difference: it folds whatever ciphertexts arrive.
+//
+// The response is watched concurrently with the upload (the 100-continue
+// pattern): a server that rejects the session early — busy, protocol error,
+// idle timeout — sends MsgError while the client is still streaming, and
+// the client must read it then, not after n chunks. Without the watcher the
+// client only notices via a broken-pipe write error once the server hangs
+// up, and the RST that follows can destroy the unread explanation.
 func QueryVector(conn *wire.Conn, sk homomorphic.PrivateKey, src VectorSource, chunkSize int) (*big.Int, error) {
 	if sk == nil {
 		return nil, errors.New("selectedsum: nil private key")
@@ -173,6 +214,36 @@ func QueryVector(conn *wire.Conn, sk homomorphic.PrivateKey, src VectorSource, c
 		return nil, fmt.Errorf("selectedsum: sending hello: %w", err)
 	}
 
+	// The server sends exactly one frame per session (the sum, or an early
+	// error), so a single background Recv covers the whole exchange.
+	type response struct {
+		f   wire.Frame
+		err error
+	}
+	respc := make(chan response, 1)
+	go func() {
+		f, err := conn.Recv()
+		respc <- response{f, err}
+	}()
+	// early drains an already-arrived server frame mid-upload; any frame
+	// before our MsgDone means the session is over (only MsgError is
+	// expected, but anything else is fatal too).
+	early := func() error {
+		select {
+		case r := <-respc:
+			switch {
+			case r.err != nil:
+				return fmt.Errorf("selectedsum: reading early reply: %w", r.err)
+			case r.f.Type == wire.MsgError:
+				return wire.DecodeError(r.f.Payload)
+			default:
+				return fmt.Errorf("selectedsum: unexpected message type %#x mid-upload", byte(r.f.Type))
+			}
+		default:
+			return nil
+		}
+	}
+
 	width := pk.CiphertextSize()
 	for lo := 0; lo < n; lo += chunkSize {
 		hi := lo + chunkSize
@@ -191,22 +262,42 @@ func QueryVector(conn *wire.Conn, sk homomorphic.PrivateKey, src VectorSource, c
 			}
 			body = append(body, b...)
 		}
+		if err := early(); err != nil {
+			return nil, err
+		}
 		chunk := &wire.IndexChunk{Offset: uint64(lo), Ciphertexts: body, Width: width}
 		if err := conn.Send(wire.MsgIndexChunk, chunk.Encode()); err != nil {
+			// The write failed because the server hung up; prefer its
+			// explanation if one arrives promptly (it was usually sent
+			// well before the hangup).
+			select {
+			case r := <-respc:
+				if r.err == nil && r.f.Type == wire.MsgError {
+					return nil, wire.DecodeError(r.f.Payload)
+				}
+			case <-time.After(200 * time.Millisecond):
+			}
 			return nil, fmt.Errorf("selectedsum: sending chunk at %d: %w", lo, err)
 		}
 	}
 	if err := conn.Send(wire.MsgDone, nil); err != nil {
+		select {
+		case r := <-respc:
+			if r.err == nil && r.f.Type == wire.MsgError {
+				return nil, wire.DecodeError(r.f.Payload)
+			}
+		case <-time.After(200 * time.Millisecond):
+		}
 		return nil, fmt.Errorf("selectedsum: sending done: %w", err)
 	}
 
-	f, err := conn.Recv()
-	if err != nil {
-		return nil, fmt.Errorf("selectedsum: reading sum: %w", err)
+	r := <-respc
+	if r.err != nil {
+		return nil, fmt.Errorf("selectedsum: reading sum: %w", r.err)
 	}
-	switch f.Type {
+	switch r.f.Type {
 	case wire.MsgSum:
-		ct, err := pk.ParseCiphertext(f.Payload)
+		ct, err := pk.ParseCiphertext(r.f.Payload)
 		if err != nil {
 			return nil, fmt.Errorf("selectedsum: parsing sum ciphertext: %w", err)
 		}
@@ -216,8 +307,8 @@ func QueryVector(conn *wire.Conn, sk homomorphic.PrivateKey, src VectorSource, c
 		}
 		return sum, nil
 	case wire.MsgError:
-		return nil, wire.DecodeError(f.Payload)
+		return nil, wire.DecodeError(r.f.Payload)
 	default:
-		return nil, fmt.Errorf("selectedsum: expected sum, got message type %#x", byte(f.Type))
+		return nil, fmt.Errorf("selectedsum: expected sum, got message type %#x", byte(r.f.Type))
 	}
 }

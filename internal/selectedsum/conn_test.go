@@ -189,3 +189,34 @@ func TestQueryOverTCPLoopback(t *testing.T) {
 		t.Errorf("Serve: %v", err)
 	}
 }
+
+func TestServeTimedRecordsPhases(t *testing.T) {
+	sk := testKey(t)
+	table, sel, want := fixture(t, 80, 40)
+
+	a, b := net.Pipe()
+	clientConn := wire.NewConn(a)
+	serverConn := wire.NewConn(b)
+	var timings PhaseTimings
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ServeTimed(serverConn, table, &timings)
+		serverConn.Close()
+	}()
+	t.Cleanup(func() { clientConn.Close() })
+
+	sum, err := Query(clientConn, sk, sel, 20, nil)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if sum.Cmp(want) != 0 {
+		t.Errorf("sum = %v, want %v", sum, want)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("ServeTimed: %v", err)
+	}
+	// All three phases did real work (key parse, 80 folds, rerandomize).
+	if timings.Hello <= 0 || timings.Absorb <= 0 || timings.Finalize <= 0 {
+		t.Errorf("timings = %+v, want all positive", timings)
+	}
+}

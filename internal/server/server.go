@@ -1,0 +1,471 @@
+// Package server is the production runtime for the selected-sum protocol's
+// database side. The protocol engine (internal/selectedsum) answers exactly
+// one session on one framed connection; this package owns everything around
+// that: the listener lifecycle, an accept loop that survives transient
+// failures, semaphore-based admission control with fast busy rejection,
+// per-session deadlines and panic isolation, context-driven graceful
+// shutdown, and a live metrics feed (internal/metrics).
+//
+// The shape mirrors net/http.Server deliberately — New, Serve,
+// ListenAndServe, Shutdown, Close, ErrServerClosed — so operational
+// expectations transfer: Serve blocks until shutdown, Shutdown stops
+// accepting and drains in-flight sessions until its context expires, Close
+// force-closes everything.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privstats/internal/database"
+	"privstats/internal/metrics"
+	"privstats/internal/selectedsum"
+	"privstats/internal/wire"
+)
+
+// ErrServerClosed is returned by Serve and ListenAndServe after Shutdown or
+// Close, matching the net/http convention.
+var ErrServerClosed = errors.New("server: closed")
+
+// Defaults for zero Config fields.
+const (
+	// DefaultMaxSessions caps concurrent sessions when Config.MaxSessions
+	// is zero. Each session costs one goroutine plus the homomorphic fold;
+	// 64 keeps a stock host responsive under the paper's 1024-bit keys.
+	DefaultMaxSessions = 64
+	// DefaultRejectTimeout bounds the busy-reply exchange with an
+	// over-admission client.
+	DefaultRejectTimeout = time.Second
+	// minAcceptBackoff and maxAcceptBackoff bound the retry delay after a
+	// transient Accept failure (e.g. EMFILE), doubling in between.
+	minAcceptBackoff = 5 * time.Millisecond
+	maxAcceptBackoff = time.Second
+)
+
+// Config tunes a Server. The zero value is serviceable: default admission
+// cap, no timeouts, metrics allocated internally, logging via the standard
+// logger.
+type Config struct {
+	// MaxSessions is the admission cap: at most this many sessions run
+	// concurrently; connections beyond it receive an immediate MsgError
+	// busy reply and are closed. Zero means DefaultMaxSessions; negative
+	// is rejected by New.
+	MaxSessions int
+
+	// SessionLimit, when positive, shuts the server down (gracefully) after
+	// this many sessions have finished. cmd/sumserver's -once flag is
+	// SessionLimit=1.
+	SessionLimit int64
+
+	// IdleTimeout bounds the wait for each client frame: a session whose
+	// client goes quiet longer than this is failed with a best-effort
+	// MsgError and its slot released. Zero means wait forever.
+	IdleTimeout time.Duration
+
+	// WriteTimeout bounds each frame write to a client. Zero means no
+	// bound.
+	WriteTimeout time.Duration
+
+	// SessionTimeout is an absolute cap on a whole session, enforced as a
+	// connection deadline that idle extensions cannot move past. Zero
+	// means no cap.
+	SessionTimeout time.Duration
+
+	// RejectTimeout bounds the busy reply to an over-admission client.
+	// Zero means DefaultRejectTimeout.
+	RejectTimeout time.Duration
+
+	// LogEvery, when positive, emits a one-line metrics summary to Logf at
+	// this interval while the server runs.
+	LogEvery time.Duration
+
+	// WrapConn frames an accepted connection, e.g. through a netsim
+	// throttle. Nil means plain wire.NewConn. The server installs its
+	// deadline policy on the raw net.Conn regardless of wrapping.
+	WrapConn func(net.Conn) (*wire.Conn, error)
+
+	// Metrics receives the server's counters; nil allocates a fresh set
+	// (retrievable via Server.Metrics).
+	Metrics *metrics.ServerMetrics
+
+	// Logf receives operational log lines; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Server runs selected-sum sessions against one table. Create with New;
+// all methods are safe for concurrent use.
+type Server struct {
+	table *database.Table
+	cfg   Config
+	m     *metrics.ServerMetrics
+	logf  func(format string, args ...any)
+
+	sem    chan struct{} // admission slots; len == active admitted sessions
+	served atomic.Int64  // finished sessions, for SessionLimit
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	active    map[net.Conn]struct{}
+	closing   bool
+	wg        sync.WaitGroup // in-flight admitted sessions
+
+	done     chan struct{} // closed when shutdown begins
+	doneOnce sync.Once
+	logOnce  sync.Once
+}
+
+// New builds a Server for table. The table is shared by all sessions and
+// must not be mutated while the server runs.
+func New(table *database.Table, cfg Config) (*Server, error) {
+	if table == nil {
+		return nil, errors.New("server: nil table")
+	}
+	if cfg.MaxSessions < 0 {
+		return nil, fmt.Errorf("server: negative MaxSessions %d", cfg.MaxSessions)
+	}
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.RejectTimeout <= 0 {
+		cfg.RejectTimeout = DefaultRejectTimeout
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = &metrics.ServerMetrics{}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Server{
+		table:     table,
+		cfg:       cfg,
+		m:         m,
+		logf:      logf,
+		sem:       make(chan struct{}, cfg.MaxSessions),
+		listeners: make(map[net.Listener]struct{}),
+		active:    make(map[net.Conn]struct{}),
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// Metrics returns the server's metrics set (the one from Config, or the
+// internally allocated one).
+func (s *Server) Metrics() *metrics.ServerMetrics { return s.m }
+
+// ActiveSessions returns the number of sessions currently running.
+func (s *Server) ActiveSessions() int { return len(s.sem) }
+
+// ListenAndServe listens on addr (TCP) and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until shutdown, running each admitted one
+// as a session. Transient accept errors are retried with exponential
+// backoff — the loop never terminates the server on its own (the fix for
+// the log.Fatalf fragility this package replaces). Serve returns
+// ErrServerClosed after Shutdown or Close, or the accept error if ln was
+// closed by someone else.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+
+	s.m.StartClock(time.Now())
+	s.startLogLoop()
+
+	backoff := minAcceptBackoff
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.shuttingDown() {
+				return ErrServerClosed
+			}
+			if errors.Is(err, net.ErrClosed) {
+				// Listener closed under us outside of Shutdown: nothing
+				// left to accept, surface it.
+				return fmt.Errorf("server: listener closed: %w", err)
+			}
+			s.m.AcceptErrors.Inc()
+			s.logf("server: accept: %v; retrying in %v", err, backoff)
+			select {
+			case <-time.After(backoff):
+			case <-s.done:
+				return ErrServerClosed
+			}
+			if backoff *= 2; backoff > maxAcceptBackoff {
+				backoff = maxAcceptBackoff
+			}
+			continue
+		}
+		backoff = minAcceptBackoff
+		s.dispatch(conn)
+	}
+}
+
+// dispatch admits conn into a session slot or rejects it with a busy reply.
+func (s *Server) dispatch(conn net.Conn) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.m.SessionsRejected.Inc()
+		go s.rejectBusy(conn)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		<-s.sem
+		conn.Close()
+		return
+	}
+	s.active[conn] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.m.SessionsStarted.Inc()
+	s.m.ActiveSessions.Inc()
+	go s.runSession(conn)
+}
+
+// rejectBusy tells an over-admission client the server is full, quickly and
+// without consuming a session slot. The client may already be streaming its
+// index vector, so after sending the error we drain its writes until it
+// hangs up (or the reject deadline passes) — closing with unread data would
+// RST the connection and could destroy the busy reply before the client
+// reads it.
+func (s *Server) rejectBusy(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(s.cfg.RejectTimeout))
+	wc := wire.NewConn(conn)
+	if err := wc.SendError("server busy: all session slots in use, try again later"); err != nil {
+		return
+	}
+	_, _ = io.Copy(io.Discard, conn)
+}
+
+// runSession owns one admitted connection: framing, deadlines, the protocol
+// exchange, metrics, and cleanup. Panics are isolated to the session.
+func (s *Server) runSession(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() { <-s.sem }()
+	defer s.m.ActiveSessions.Dec()
+	defer func() {
+		s.mu.Lock()
+		delete(s.active, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.noteServed()
+	}()
+
+	start := time.Now()
+	err := s.serveSession(conn)
+	s.m.SessionNanos.ObserveDuration(time.Since(start))
+	if err != nil {
+		s.m.SessionsFailed.Inc()
+		s.logf("server: session from %s failed: %v", conn.RemoteAddr(), err)
+		return
+	}
+	s.m.SessionsCompleted.Inc()
+}
+
+// serveSession runs the protocol on conn and converts panics into errors so
+// one poisoned session cannot take down the server.
+func (s *Server) serveSession(conn net.Conn) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.SessionPanics.Inc()
+			s.logf("server: session from %s panicked: %v\n%s", conn.RemoteAddr(), r, debug.Stack())
+			err = fmt.Errorf("server: session panic: %v", r)
+		}
+	}()
+
+	var wc *wire.Conn
+	if s.cfg.WrapConn != nil {
+		wc, err = s.cfg.WrapConn(conn)
+		if err != nil {
+			return fmt.Errorf("server: framing connection: %w", err)
+		}
+	} else {
+		wc = wire.NewConn(conn)
+	}
+
+	// Deadlines always land on the raw net.Conn, even when WrapConn put a
+	// throttle (which has no deadline support) between framing and socket.
+	// A SessionTimeout becomes an absolute cap that per-frame idle/write
+	// extensions cannot move past.
+	dl := wire.Deadliner(conn)
+	if s.cfg.SessionTimeout > 0 {
+		cap := time.Now().Add(s.cfg.SessionTimeout)
+		_ = conn.SetDeadline(cap)
+		dl = cappedDeadliner{dl: conn, cap: cap}
+	}
+	wc.SetDeadliner(dl)
+	wc.SetIdleTimeout(s.cfg.IdleTimeout)
+	wc.SetWriteTimeout(s.cfg.WriteTimeout)
+
+	var phases selectedsum.PhaseTimings
+	err = selectedsum.ServeTimed(wc, s.table, &phases)
+
+	s.m.HelloNanos.ObserveDuration(phases.Hello)
+	s.m.AbsorbNanos.ObserveDuration(phases.Absorb)
+	s.m.FinalizeNanos.ObserveDuration(phases.Finalize)
+	out, in, _, _ := wc.Meter.Snapshot()
+	s.m.BytesIn.Add(in)
+	s.m.BytesOut.Add(out)
+
+	if err != nil && wire.IsTimeout(err) {
+		// Tell the quiet client why it is being hung up on. Best effort:
+		// give the write its own short deadline (the expired one was the
+		// read side's, but a passed SessionTimeout cap fails this fast,
+		// which is fine).
+		_ = conn.SetWriteDeadline(time.Now().Add(DefaultRejectTimeout))
+		_ = wc.SendError("session timed out waiting for client")
+		return fmt.Errorf("server: session idle timeout: %w", err)
+	}
+	return err
+}
+
+// noteServed triggers self-shutdown once SessionLimit sessions finished.
+func (s *Server) noteServed() {
+	if s.cfg.SessionLimit <= 0 {
+		return
+	}
+	if s.served.Add(1) == s.cfg.SessionLimit {
+		go s.beginShutdown()
+	}
+}
+
+// shuttingDown reports whether shutdown has begun.
+func (s *Server) shuttingDown() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// beginShutdown stops admission: marks the server closing and closes every
+// registered listener. In-flight sessions keep running.
+func (s *Server) beginShutdown() {
+	s.doneOnce.Do(func() {
+		s.mu.Lock()
+		s.closing = true
+		// Order matters: mark shutdown (close done) before closing the
+		// listeners, so an accept loop seeing net.ErrClosed can tell an
+		// intentional shutdown from an externally closed listener.
+		close(s.done)
+		for ln := range s.listeners {
+			ln.Close()
+		}
+		s.mu.Unlock()
+	})
+}
+
+// Shutdown gracefully stops the server: no new connections are accepted,
+// and in-flight sessions are drained. If ctx expires first, remaining
+// sessions are force-closed and ctx's error returned; a clean drain returns
+// nil.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginShutdown()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.closeActive()
+		<-drained // sessions unblock promptly once their conns are closed
+		return ctx.Err()
+	}
+}
+
+// Close force-stops the server: listeners and all in-flight session
+// connections are closed immediately.
+func (s *Server) Close() error {
+	s.beginShutdown()
+	s.closeActive()
+	s.wg.Wait()
+	return nil
+}
+
+// closeActive force-closes every in-flight session connection.
+func (s *Server) closeActive() {
+	s.mu.Lock()
+	for conn := range s.active {
+		conn.Close()
+	}
+	s.mu.Unlock()
+}
+
+// startLogLoop emits the periodic metrics summary when configured.
+func (s *Server) startLogLoop() {
+	if s.cfg.LogEvery <= 0 {
+		return
+	}
+	s.logOnce.Do(func() {
+		go func() {
+			t := time.NewTicker(s.cfg.LogEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.logf("server: %s", s.m.Summary())
+				case <-s.done:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// cappedDeadliner forwards deadline control but never lets a deadline move
+// past the session's absolute cap (zero deadlines — "no deadline" — are
+// replaced by the cap as well).
+type cappedDeadliner struct {
+	dl  wire.Deadliner
+	cap time.Time
+}
+
+func (c cappedDeadliner) SetReadDeadline(t time.Time) error {
+	return c.dl.SetReadDeadline(c.clamp(t))
+}
+
+func (c cappedDeadliner) SetWriteDeadline(t time.Time) error {
+	return c.dl.SetWriteDeadline(c.clamp(t))
+}
+
+func (c cappedDeadliner) clamp(t time.Time) time.Time {
+	if t.IsZero() || t.After(c.cap) {
+		return c.cap
+	}
+	return t
+}

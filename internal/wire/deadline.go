@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Deadliner is the subset of net.Conn deadline control the server runtime
+// plumbs through a Conn. net.TCPConn and net.Pipe both implement it; a
+// netsim.Throttle does not, so when the transport is wrapped the owner of
+// the raw connection installs it explicitly via SetDeadliner.
+type Deadliner interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// deadlines holds a Conn's optional timeout policy. Split from Conn's hot
+// fields so the zero configuration costs one nil check per Send/Recv.
+type deadlines struct {
+	mu    sync.Mutex
+	dl    Deadliner
+	idle  time.Duration // per-Recv read deadline extension; 0 = none
+	write time.Duration // per-Send write deadline extension; 0 = none
+}
+
+// SetDeadliner installs (or replaces) the deadline controller. NewConn
+// auto-detects transports that already implement Deadliner; this override
+// exists for wrapped transports — e.g. a throttled connection where the
+// deadlines must be set on the raw net.Conn underneath the throttle.
+func (c *Conn) SetDeadliner(d Deadliner) {
+	c.dls.mu.Lock()
+	c.dls.dl = d
+	c.dls.mu.Unlock()
+}
+
+// SetIdleTimeout arms a rolling read deadline: every Recv must observe a
+// frame within d of being issued or it fails with a timeout error
+// (detectable via IsTimeout). Zero disables. No-op while no Deadliner is
+// installed.
+func (c *Conn) SetIdleTimeout(d time.Duration) {
+	c.dls.mu.Lock()
+	c.dls.idle = d
+	c.dls.mu.Unlock()
+}
+
+// SetWriteTimeout arms a rolling write deadline: every Send must complete
+// within d. Zero disables. No-op while no Deadliner is installed.
+func (c *Conn) SetWriteTimeout(d time.Duration) {
+	c.dls.mu.Lock()
+	c.dls.write = d
+	c.dls.mu.Unlock()
+}
+
+// beforeRecv applies the idle timeout, if armed, ahead of a frame read.
+func (c *Conn) beforeRecv() {
+	c.dls.mu.Lock()
+	dl, idle := c.dls.dl, c.dls.idle
+	c.dls.mu.Unlock()
+	if dl != nil && idle > 0 {
+		_ = dl.SetReadDeadline(time.Now().Add(idle))
+	}
+}
+
+// beforeSend applies the write timeout, if armed, ahead of a frame write.
+func (c *Conn) beforeSend() {
+	c.dls.mu.Lock()
+	dl, wr := c.dls.dl, c.dls.write
+	c.dls.mu.Unlock()
+	if dl != nil && wr > 0 {
+		_ = dl.SetWriteDeadline(time.Now().Add(wr))
+	}
+}
+
+// IsTimeout reports whether err (possibly wrapped) is a network timeout —
+// an expired read or write deadline. The server runtime uses it to tell an
+// idle client apart from a protocol failure.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

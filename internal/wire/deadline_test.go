@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestIdleTimeoutFailsRecv(t *testing.T) {
+	a, b := net.Pipe() // net.Pipe implements deadlines since Go 1.10
+	defer a.Close()
+	defer b.Close()
+
+	conn := NewConn(a)
+	conn.SetIdleTimeout(30 * time.Millisecond)
+
+	start := time.Now()
+	_, err := conn.Recv()
+	if err == nil {
+		t.Fatal("Recv succeeded with no peer data")
+	}
+	if !IsTimeout(err) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v, want ~30ms", elapsed)
+	}
+}
+
+func TestIdleTimeoutRollsForwardPerRecv(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	conn := NewConn(a)
+	conn.SetIdleTimeout(250 * time.Millisecond)
+	peer := NewConn(b)
+
+	// Three frames each arriving after 100ms: every arrival is within the
+	// idle window even though the total exceeds it, so all must succeed.
+	go func() {
+		for i := 0; i < 3; i++ {
+			time.Sleep(100 * time.Millisecond)
+			if err := peer.Send(MsgDone, nil); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if _, err := conn.Recv(); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+}
+
+func TestWriteTimeoutFailsSend(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close() // peer never reads: an unbuffered pipe write blocks
+
+	conn := NewConn(a)
+	conn.SetWriteTimeout(30 * time.Millisecond)
+	err := conn.Send(MsgSum, []byte("x"))
+	if err == nil {
+		t.Fatal("Send succeeded with no reader")
+	}
+	if !IsTimeout(err) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+func TestSetDeadlinerOverridesForWrappedTransport(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	// Wrap the transport so NewConn cannot auto-detect deadlines, as with
+	// a netsim.Throttle; then install the raw conn's deadline control.
+	conn := NewConn(struct{ io.ReadWriter }{a})
+	conn.SetIdleTimeout(30 * time.Millisecond)
+	conn.SetDeadliner(a)
+
+	_, err := conn.Recv()
+	if !IsTimeout(err) {
+		t.Fatalf("err = %v, want timeout through installed deadliner", err)
+	}
+}
+
+func TestIdleTimeoutWithoutDeadlinerIsNoop(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	// No deadliner installed on a wrapped transport: arming the idle
+	// timeout must not fire; a frame arriving after the window is fine.
+	conn := NewConn(struct{ io.ReadWriter }{a})
+	conn.SetIdleTimeout(20 * time.Millisecond)
+	peer := NewConn(b)
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		_ = peer.Send(MsgDone, nil)
+	}()
+	f, err := conn.Recv()
+	if err != nil || f.Type != MsgDone {
+		t.Fatalf("Recv = %+v, %v", f, err)
+	}
+}
+
+func TestZeroTimeoutsAreInert(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	conn := NewConn(a)
+	peer := NewConn(b)
+	go func() { _ = peer.Send(MsgDone, nil) }()
+	f, err := conn.Recv()
+	if err != nil || f.Type != MsgDone {
+		t.Fatalf("Recv = %+v, %v", f, err)
+	}
+}
+
+func TestIsTimeout(t *testing.T) {
+	if IsTimeout(errors.New("plain")) {
+		t.Error("plain error misclassified as timeout")
+	}
+	if IsTimeout(nil) {
+		t.Error("nil misclassified as timeout")
+	}
+}

@@ -65,16 +65,24 @@ type Conn struct {
 
 	Meter *Meter
 
+	// dls is the optional timeout policy (see deadline.go); its zero value
+	// is inert.
+	dls deadlines
+
 	wmu sync.Mutex // serialize frame writes
 	rmu sync.Mutex // serialize frame reads
 }
 
 // NewConn wraps rw in a framed, metered connection. If rw also implements
-// io.Closer, Close forwards to it.
+// io.Closer, Close forwards to it; if it implements Deadliner (net.Conn
+// does), the idle/write timeouts of deadline.go can be armed directly.
 func NewConn(rw io.ReadWriter) *Conn {
 	c := &Conn{r: rw, w: rw, Meter: &Meter{}}
 	if cl, ok := rw.(io.Closer); ok {
 		c.c = cl
+	}
+	if dl, ok := rw.(Deadliner); ok {
+		c.dls.dl = dl
 	}
 	return c
 }
@@ -83,6 +91,7 @@ func NewConn(rw io.ReadWriter) *Conn {
 func (c *Conn) Send(t MsgType, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	c.beforeSend()
 	n, err := WriteFrame(c.w, t, payload)
 	if err != nil {
 		return err
@@ -95,6 +104,7 @@ func (c *Conn) Send(t MsgType, payload []byte) error {
 func (c *Conn) Recv() (Frame, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
+	c.beforeRecv()
 	f, n, err := ReadFrame(c.r)
 	if err != nil {
 		return Frame{}, err
