@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet check
+.PHONY: all build test race fmt vet check cluster-demo
 
 all: build
 
@@ -14,10 +14,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the packages with real concurrency: the server runtime and
-# the protocol layer it drives.
+# Race-detect the packages with real concurrency: the server runtime, the
+# protocol layer it drives, and the cluster fan-out.
 race:
-	$(GO) test -race ./internal/server/ ./internal/selectedsum/
+	$(GO) test -race ./internal/server/ ./internal/selectedsum/ ./internal/cluster/
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -30,3 +30,11 @@ vet:
 
 check: fmt vet build test race
 	@echo "check: all clean"
+
+# Live sharded deployment on loopback: two sumserver shard backends behind
+# the sumproxy aggregator, queried by sumclient, checked against a direct
+# single-server run over the same table and selection.
+cluster-demo:
+	@mkdir -p bin
+	$(GO) build -o bin/ ./cmd/sumserver ./cmd/sumproxy ./cmd/sumclient
+	@sh scripts/cluster_demo.sh

@@ -8,28 +8,37 @@
 //	sumclient -server localhost:7001 -n 100000 -select 0.5
 //	sumclient -server localhost:7001 -n 100000 -select 0.5 -chunk 100 -preprocess
 //	sumclient -server localhost:7001 -n 100000 -indices 3,17,99
+//
+// Sessions run through the production client runtime (internal/cluster):
+// -timeout bounds dial and per-frame IO, and failures are retried -retries
+// times with exponential -backoff. -server takes a comma-separated failover
+// list — the first address is preferred, later ones are tried when it is
+// down or busy:
+//
+//	sumclient -server proxy1:7000,proxy2:7000 -n 100000 -timeout 10s -retries 3
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"flag"
 	"fmt"
 	"log"
-	"net"
+	"math/big"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"privstats/internal/cluster"
 	"privstats/internal/database"
 	"privstats/internal/homomorphic"
 	"privstats/internal/paillier"
 	"privstats/internal/selectedsum"
-	"privstats/internal/wire"
 )
 
 func main() {
-	server := flag.String("server", "localhost:7001", "sumserver address")
+	server := flag.String("server", "localhost:7001", "server address, or a comma-separated failover list (first preferred)")
 	n := flag.Int("n", 0, "size of the remote table (the client must know the schema)")
 	selectFrac := flag.Float64("select", 0.5, "fraction of rows to select at random")
 	indices := flag.String("indices", "", "comma-separated explicit row indices (overrides -select)")
@@ -39,6 +48,9 @@ func main() {
 	chunk := flag.Int("chunk", 0, "batch the index vector in chunks of this size (0 = single chunk)")
 	preprocess := flag.Bool("preprocess", false, "precompute all index-bit encryptions before connecting (paper §3.3)")
 	storePath := flag.String("store", "", "load preprocessed encryptions from this file (from keygen -store; requires -key)")
+	timeout := flag.Duration("timeout", cluster.DefaultIOTimeout, "dial and per-frame IO deadline (0 = runtime default)")
+	retries := flag.Int("retries", cluster.DefaultRetries, "extra attempts after the first, spread across the -server list")
+	backoff := flag.Duration("backoff", cluster.DefaultBackoff, "base sleep before a retry, doubled each attempt and jittered")
 	flag.Parse()
 
 	if *n <= 0 {
@@ -46,12 +58,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*server, *n, *selectFrac, *indices, *seed, *keyPath, *keyBits, *chunk, *preprocess, *storePath); err != nil {
+	rt := cluster.ClientConfig{
+		DialTimeout: *timeout,
+		IOTimeout:   *timeout,
+		Retries:     *retries,
+		Backoff:     *backoff,
+	}
+	if err := run(*server, *n, *selectFrac, *indices, *seed, *keyPath, *keyBits, *chunk, *preprocess, *storePath, rt); err != nil {
 		log.Fatalf("sumclient: %v", err)
 	}
 }
 
-func run(server string, n int, selectFrac float64, indices string, seed int64, keyPath string, keyBits, chunk int, preprocess bool, storePath string) error {
+func run(server string, n int, selectFrac float64, indices string, seed int64, keyPath string, keyBits, chunk int, preprocess bool, storePath string, rt cluster.ClientConfig) error {
 	sk, rawSK, err := loadKey(keyPath, keyBits)
 	if err != nil {
 		return err
@@ -84,25 +102,44 @@ func run(server string, n int, selectFrac float64, indices string, seed int64, k
 		pool = paillier.SchemeBitStore{Store: store}
 	}
 
-	conn, err := net.Dial("tcp", server)
-	if err != nil {
-		return fmt.Errorf("connecting to %s: %w", server, err)
-	}
-	defer conn.Close()
-	wc := wire.NewConn(conn)
+	backends := splitAddrs(server)
+	client := cluster.NewClient(rt)
 
+	var sum *big.Int
+	var out, in int64
 	start := time.Now()
-	sum, err := selectedsum.Query(wc, sk, sel, chunk, pool)
+	served, err := client.Do(context.Background(), backends, func(s *cluster.Session) error {
+		got, err := selectedsum.Query(s.Conn, sk, sel, chunk, pool)
+		if err != nil {
+			return err
+		}
+		sum = got
+		out, in, _, _ = s.Conn.Meter.Snapshot()
+		return nil
+	})
 	if err != nil {
 		return err
 	}
 	online := time.Since(start)
 
-	out, in, _, _ := wc.Meter.Snapshot()
 	fmt.Printf("selected sum: %v\n", sum)
 	fmt.Printf("online time:  %v\n", online.Round(time.Millisecond))
 	fmt.Printf("traffic:      %d bytes up, %d bytes down\n", out, in)
+	if cs := client.Metrics().Snapshot(); cs.Retries+cs.Failovers > 0 {
+		fmt.Printf("resilience:   %d retries, %d failovers (served by %s)\n", cs.Retries, cs.Failovers, served)
+	}
 	return nil
+}
+
+// splitAddrs parses the -server failover list.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func loadKey(path string, bits int) (homomorphic.PrivateKey, *paillier.PrivateKey, error) {

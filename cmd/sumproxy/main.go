@@ -1,0 +1,136 @@
+// Command sumproxy runs the cluster aggregator for the private
+// selected-sum protocol: it fronts a set of sumserver shards that each hold
+// a contiguous row range of one logical table, fans every client's
+// encrypted index vector out to them, and homomorphically combines the
+// partial sums into the single rerandomized ciphertext the client sees.
+//
+// The aggregator is untrusted for privacy — it only ever handles
+// ciphertexts under the client's key (see DESIGN.md §9) — so running it on
+// a different operator's machine than the shards costs nothing in the
+// threat model.
+//
+// Client-facing sessions run through the same internal/server runtime as
+// sumserver (admission control, idle/session deadlines, graceful drain),
+// and the backend fan-out runs through the production client runtime
+// (pooling, retry with backoff, replica failover). Merged server+cluster
+// counters are served from http://<-stats-addr>/stats.
+//
+// Usage:
+//
+//	sumproxy -listen :7000 -shards '0-5000=db1:7001;5000-10000=db2:7001'
+//	sumproxy -listen :7000 -shards '0-5000=db1:7001|db1b:7001;5000-10000=db2:7001' -retries 3
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"privstats/internal/cluster"
+	"privstats/internal/metrics"
+	"privstats/internal/server"
+
+	// Accepted cryptosystems register themselves with the scheme registry.
+	_ "privstats/internal/crypto/dj"
+	_ "privstats/internal/crypto/elgamal"
+	_ "privstats/internal/paillier"
+)
+
+func main() {
+	listen := flag.String("listen", ":7000", "address to accept client sessions on")
+	shardsSpec := flag.String("shards", "", "shard map: 'lo-hi=primary[|replica...];...' covering [0,n) (required)")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "max concurrent client sessions; overflow gets a busy error")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "fail a client session idle for this long (0 = never)")
+	sessionTimeout := flag.Duration("session-timeout", 0, "hard cap on a whole client session (0 = none)")
+	grace := flag.Duration("grace", 30*time.Second, "drain window for in-flight sessions on SIGINT/SIGTERM")
+	statsAddr := flag.String("stats-addr", "", "serve merged server+cluster metrics on http://<addr>/stats (empty = off)")
+	logEvery := flag.Duration("log-every", time.Minute, "interval for the periodic metrics log line (0 = off)")
+	dialTimeout := flag.Duration("dial-timeout", cluster.DefaultDialTimeout, "TCP connect timeout per backend attempt")
+	ioTimeout := flag.Duration("io-timeout", cluster.DefaultIOTimeout, "per-frame idle/write deadline on backend sessions")
+	retries := flag.Int("retries", cluster.DefaultRetries, "extra attempts per shard after the first, spread across replicas")
+	backoff := flag.Duration("backoff", cluster.DefaultBackoff, "base sleep before a retry, doubled each attempt and jittered")
+	maxConns := flag.Int("max-conns", cluster.DefaultMaxConns, "max concurrent sessions per backend")
+	probeAfter := flag.Duration("probe-after", cluster.DefaultProbeAfter, "how long a failed backend is skipped before a probe attempt")
+	flag.Parse()
+
+	if *shardsSpec == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	shards, err := cluster.ParseShardMap(*shardsSpec)
+	if err != nil {
+		log.Fatalf("sumproxy: %v", err)
+	}
+
+	client := cluster.NewClient(cluster.ClientConfig{
+		DialTimeout:        *dialTimeout,
+		IOTimeout:          *ioTimeout,
+		Retries:            *retries,
+		Backoff:            *backoff,
+		MaxConnsPerBackend: *maxConns,
+		ProbeAfter:         *probeAfter,
+	})
+	agg, err := cluster.NewAggregator(shards, client)
+	if err != nil {
+		log.Fatalf("sumproxy: %v", err)
+	}
+	srv, err := server.NewHandler(agg, server.Config{
+		MaxSessions:    *maxSessions,
+		IdleTimeout:    *idleTimeout,
+		SessionTimeout: *sessionTimeout,
+		LogEvery:       *logEvery,
+	})
+	if err != nil {
+		log.Fatalf("sumproxy: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("sumproxy: listen: %v", err)
+	}
+	log.Printf("aggregating %d rows over %d shards on %s", shards.Rows(), shards.Len(), ln.Addr())
+	log.Printf("shard map: %s", shards)
+
+	var stats *http.Server
+	if *statsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/stats", metrics.ClusterStatsHandler(srv.Metrics(), client.Metrics()))
+		stats = &http.Server{Addr: *statsAddr, Handler: mux}
+		go func() {
+			log.Printf("stats endpoint on http://%s/stats", *statsAddr)
+			if err := stats.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("sumproxy: stats endpoint: %v", err)
+			}
+		}()
+	}
+
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-sigCtx.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		log.Printf("shutdown requested; draining up to %v", *grace)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("sumproxy: forced shutdown after grace period: %v", err)
+		}
+	}()
+
+	err = srv.Serve(ln)
+	if err != nil && err != server.ErrServerClosed {
+		log.Fatalf("sumproxy: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	if stats != nil {
+		_ = stats.Shutdown(context.Background())
+	}
+	log.Printf("final: %s", srv.Metrics().Summary())
+}

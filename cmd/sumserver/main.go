@@ -27,6 +27,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,6 +54,7 @@ func main() {
 	generate := flag.Int("generate", 0, "generate a synthetic table of this many rows instead of loading one")
 	seed := flag.Int64("seed", 1, "seed for -generate")
 	save := flag.String("save", "", "write the generated table to this path and keep serving")
+	shard := flag.String("shard", "", "serve only rows lo:hi of the table (a cluster backend behind sumproxy; the proxy's -shards range must match)")
 	throttle := flag.String("throttle", "", "simulate a link on each connection: 'modem' (56Kbps), 'wireless' (1Mbps), or empty for none")
 	once := flag.Bool("once", false, "serve a single session and exit (used by scripts and tests)")
 	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "max concurrent sessions; overflow connections get a busy error")
@@ -78,6 +81,12 @@ func main() {
 	}
 	if err != nil {
 		log.Fatalf("sumserver: %v", err)
+	}
+	if *shard != "" {
+		table, err = sliceShard(table, *shard)
+		if err != nil {
+			log.Fatalf("sumserver: %v", err)
+		}
 	}
 
 	cfg := server.Config{
@@ -165,6 +174,28 @@ func loadTable(dbPath string, generate int, seed int64, save string) (*database.
 	default:
 		return nil, errNoSource
 	}
+}
+
+// sliceShard applies the -shard lo:hi restriction.
+func sliceShard(table *database.Table, spec string) (*database.Table, error) {
+	loStr, hiStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("bad -shard %q (want lo:hi)", spec)
+	}
+	lo, err := strconv.Atoi(loStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -shard %q: %w", spec, err)
+	}
+	hi, err := strconv.Atoi(hiStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -shard %q: %w", spec, err)
+	}
+	shard, err := table.Shard(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("restricted to shard [%d,%d) of the %d-row table", lo, hi, table.Len())
+	return shard, nil
 }
 
 // wrapConn frames the connection, optionally through a bandwidth throttle.

@@ -382,3 +382,36 @@ func TestReportRendering(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestClusterSweepShape(t *testing.T) {
+	cfg := testConfig()
+	rows, err := cfg.ClusterSweep([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Shards != 1 || rows[1].Shards != 2 {
+		t.Errorf("shard counts = %d, %d", rows[0].Shards, rows[1].Shards)
+	}
+	for _, r := range rows {
+		if r.Total <= 0 || r.MaxShardFold <= 0 || r.SumShardFold < r.MaxShardFold {
+			t.Errorf("k=%d: implausible timings %+v", r.Shards, r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteClusterTable(&buf, 120, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "shards") {
+		t.Errorf("table missing header: %q", buf.String())
+	}
+	buf.Reset()
+	if err := ClusterCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Errorf("csv lines = %d, want 3", got)
+	}
+}

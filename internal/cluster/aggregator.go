@@ -1,0 +1,418 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"privstats/internal/homomorphic"
+	"privstats/internal/metrics"
+	"privstats/internal/selectedsum"
+	"privstats/internal/server"
+	"privstats/internal/wire"
+)
+
+// errAborted marks a shard attempt cancelled because the client session
+// died; it is deliberately not retryable.
+var errAborted = errors.New("cluster: client session aborted")
+
+// Aggregator answers one logical selected-sum session by fanning the
+// client's encrypted index vector out to sharded backends and combining
+// their encrypted partial sums. It implements server.Handler, so it hosts
+// on the PR-1 production runtime and inherits admission control, deadlines,
+// panic isolation, graceful shutdown, and /stats.
+//
+// The aggregator is untrusted for privacy: every byte it touches is a
+// ciphertext under the client's key. It learns the shard topology (which
+// it already knows) and traffic shape — never the selection, the partials,
+// or the total.
+type Aggregator struct {
+	shards *ShardMap
+	client *Client
+	m      *metrics.ClusterMetrics
+}
+
+// NewAggregator builds an aggregator over the shard map, fanning out
+// through client (which owns the retry/failover policy and the metrics).
+func NewAggregator(shards *ShardMap, client *Client) (*Aggregator, error) {
+	if shards == nil {
+		return nil, errors.New("cluster: nil shard map")
+	}
+	if client == nil {
+		return nil, errors.New("cluster: nil client")
+	}
+	return &Aggregator{shards: shards, client: client, m: client.Metrics()}, nil
+}
+
+var _ server.Handler = (*Aggregator)(nil)
+
+// shardChunk is one shard-local slice of a client index chunk, still in
+// global row coordinates.
+type shardChunk struct {
+	offset uint64
+	body   []byte
+}
+
+// shardBuffer hands a shard's chunk slices to its fan-out worker. It
+// retains everything so a failed backend attempt can be replayed against a
+// replica from the start: the first attempt streams through the buffer as
+// it fills (pipelining with the client upload), a failover replays it.
+type shardBuffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	chunks []shardChunk
+	closed bool
+	abort  error
+}
+
+func newShardBuffer() *shardBuffer {
+	b := &shardBuffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *shardBuffer) append(c shardChunk) {
+	b.mu.Lock()
+	b.chunks = append(b.chunks, c)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// close marks the upload complete (the client sent MsgDone).
+func (b *shardBuffer) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// abortWith wakes any waiting worker with a terminal error.
+func (b *shardBuffer) abortWith(err error) {
+	b.mu.Lock()
+	if b.abort == nil {
+		b.abort = err
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// next returns chunk i, blocking until it exists. ok=false means the
+// upload completed before chunk i (end of stream).
+func (b *shardBuffer) next(i int) (shardChunk, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.abort != nil {
+			return shardChunk{}, false, b.abort
+		}
+		if i < len(b.chunks) {
+			return b.chunks[i], true, nil
+		}
+		if b.closed {
+			return shardChunk{}, false, nil
+		}
+		b.cond.Wait()
+	}
+}
+
+// ServeSession implements server.Handler: one aggregated selected-sum
+// session. Phase timings map naturally: Hello is parse + fan-out setup,
+// Absorb is the split-and-forward work, Finalize is the homomorphic
+// combine + rerandomize.
+func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTimings) error {
+	if timings == nil {
+		timings = &selectedsum.PhaseTimings{}
+	}
+	a.m.Queries.Inc()
+
+	// fail mirrors selectedsum.ServeTimed's error path: report to the
+	// possibly-still-uploading client while draining its frames, so the
+	// explanation survives instead of being destroyed by a RST.
+	fail := func(err error) error {
+		sent := make(chan struct{})
+		go func() {
+			defer close(sent)
+			_ = conn.SendError(err.Error())
+		}()
+		go func() {
+			for {
+				f, rerr := conn.Recv()
+				if rerr != nil || f.Type == wire.MsgDone || f.Type == wire.MsgError {
+					return
+				}
+			}
+		}()
+		<-sent
+		return err
+	}
+
+	f, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("cluster: reading hello: %w", err)
+	}
+	helloStart := time.Now()
+	if f.Type != wire.MsgHello {
+		return fail(fmt.Errorf("cluster: expected hello, got message type %#x", byte(f.Type)))
+	}
+	hello, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		return fail(err)
+	}
+	if hello.Version != wire.Version {
+		return fail(fmt.Errorf("cluster: unsupported protocol version %d", hello.Version))
+	}
+	if hello.RowOffset != 0 {
+		return fail(fmt.Errorf("cluster: aggregator serves the whole logical database, got row offset %d", hello.RowOffset))
+	}
+	if hello.VectorLen != uint64(a.shards.Rows()) {
+		return fail(fmt.Errorf("cluster: client announces %d rows, cluster serves %d", hello.VectorLen, a.shards.Rows()))
+	}
+	pk, err := homomorphic.ParsePublicKey(hello.Scheme, hello.PublicKey)
+	if err != nil {
+		return fail(err)
+	}
+	width := pk.CiphertextSize()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	shards := a.shards.Shards()
+	type shardResult struct {
+		i    int
+		ct   homomorphic.Ciphertext
+		addr string
+		err  error
+	}
+	bufs := make([]*shardBuffer, len(shards))
+	results := make(chan shardResult, len(shards))
+	for i := range shards {
+		bufs[i] = newShardBuffer()
+		go func(i int) {
+			ct, addr, err := a.queryShard(ctx, shards[i], hello, pk, bufs[i])
+			results <- shardResult{i: i, ct: ct, addr: addr, err: err}
+		}(i)
+	}
+	abortWorkers := func(err error) {
+		for _, b := range bufs {
+			b.abortWith(err)
+		}
+		cancel()
+	}
+	timings.Hello = time.Since(helloStart)
+
+	// failed drains a worker failure noticed mid-upload without blocking.
+	pending := len(shards)
+	partials := make([]homomorphic.Ciphertext, len(shards))
+	checkWorkers := func() error {
+		for {
+			select {
+			case r := <-results:
+				pending--
+				if r.err != nil {
+					return fmt.Errorf("cluster: shard %d [%d,%d): %w", r.i, shards[r.i].Lo, shards[r.i].Hi, r.err)
+				}
+				partials[r.i] = r.ct
+			default:
+				return nil
+			}
+		}
+	}
+
+	total := uint64(a.shards.Rows())
+	var next uint64
+recvLoop:
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			abortWorkers(errAborted)
+			return fmt.Errorf("cluster: reading chunk: %w", err)
+		}
+		switch f.Type {
+		case wire.MsgIndexChunk:
+			// A shard already known dead fails the session now, not after
+			// the client uploads the rest of the vector.
+			if err := checkWorkers(); err != nil {
+				abortWorkers(errAborted)
+				return fail(err)
+			}
+			splitStart := time.Now()
+			chunk, err := wire.DecodeIndexChunk(f.Payload, width)
+			if err != nil {
+				abortWorkers(errAborted)
+				return fail(err)
+			}
+			count := uint64(chunk.Count())
+			if chunk.Offset != next {
+				abortWorkers(errAborted)
+				return fail(fmt.Errorf("%w: got offset %d, want %d", selectedsum.ErrChunkOutOfOrder, chunk.Offset, next))
+			}
+			if next+count > total {
+				abortWorkers(errAborted)
+				return fail(fmt.Errorf("%w: chunk [%d,%d) exceeds %d rows", selectedsum.ErrVectorLength, next, next+count, total))
+			}
+			for i, s := range shards {
+				lo, hi := uint64(s.Lo), uint64(s.Hi)
+				if hi <= chunk.Offset || lo >= chunk.Offset+count {
+					continue
+				}
+				if lo < chunk.Offset {
+					lo = chunk.Offset
+				}
+				if hi > chunk.Offset+count {
+					hi = chunk.Offset + count
+				}
+				body := chunk.Ciphertexts[(lo-chunk.Offset)*uint64(width) : (hi-chunk.Offset)*uint64(width)]
+				bufs[i].append(shardChunk{offset: lo, body: body})
+			}
+			next += count
+			timings.Absorb += time.Since(splitStart)
+		case wire.MsgDone:
+			if next != total {
+				abortWorkers(errAborted)
+				return fail(fmt.Errorf("%w: folded %d of %d positions", selectedsum.ErrIncomplete, next, total))
+			}
+			break recvLoop
+		case wire.MsgError:
+			abortWorkers(errAborted)
+			return wire.DecodeError(f.Payload)
+		default:
+			abortWorkers(errAborted)
+			return fail(fmt.Errorf("cluster: unexpected message type %#x mid-session", byte(f.Type)))
+		}
+	}
+
+	for _, b := range bufs {
+		b.close()
+	}
+	var workerErr error
+	for pending > 0 {
+		r := <-results
+		pending--
+		if r.err != nil && workerErr == nil {
+			workerErr = fmt.Errorf("cluster: shard %d [%d,%d): %w", r.i, shards[r.i].Lo, shards[r.i].Hi, r.err)
+			abortWorkers(errAborted)
+		}
+		if r.err == nil {
+			partials[r.i] = r.ct
+		}
+	}
+	if workerErr != nil {
+		return fail(workerErr)
+	}
+
+	// Combine: Π partials = E(Σ shard sums) = E(total), then rerandomize
+	// so the reply is unlinkable to the product the aggregator computed —
+	// the client must not be able to reconstruct per-shard partials even
+	// if it later compromises a backend.
+	finStart := time.Now()
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		acc, err = pk.Add(acc, p)
+		if err != nil {
+			return fail(fmt.Errorf("cluster: combining partials: %w", err))
+		}
+	}
+	reply, err := pk.Rerandomize(acc)
+	if err != nil {
+		return fail(fmt.Errorf("cluster: rerandomizing total: %w", err))
+	}
+	timings.Finalize = time.Since(finStart)
+	a.m.CombineNanos.ObserveDuration(timings.Finalize)
+	if err := conn.Send(wire.MsgSum, reply.Bytes()); err != nil {
+		return fmt.Errorf("cluster: sending sum: %w", err)
+	}
+	return nil
+}
+
+// queryShard runs one shard's fan-out with the client runtime's retry and
+// failover policy. The attempt function replays the shard buffer from the
+// start; on the first attempt the buffer is still filling, so the replay
+// degenerates into streaming through — pipelined with the client upload.
+func (a *Aggregator) queryShard(ctx context.Context, s Shard, clientHello *wire.Hello, pk homomorphic.PublicKey, buf *shardBuffer) (homomorphic.Ciphertext, string, error) {
+	width := pk.CiphertextSize()
+	var partial homomorphic.Ciphertext
+	addr, err := a.client.Do(ctx, s.Backends, func(sess *Session) error {
+		hello := wire.Hello{
+			Version:   wire.Version,
+			Scheme:    clientHello.Scheme,
+			PublicKey: clientHello.PublicKey,
+			VectorLen: uint64(s.Rows()),
+			ChunkLen:  clientHello.ChunkLen,
+			RowOffset: uint64(s.Lo),
+		}
+		if err := sess.Conn.Send(wire.MsgHello, hello.Encode()); err != nil {
+			return err
+		}
+
+		// Watch for an early backend reply (busy rejection, protocol
+		// error) concurrently with the forwarding, mirroring the
+		// 100-continue pattern of selectedsum.QueryVector.
+		type response struct {
+			f   wire.Frame
+			err error
+		}
+		respc := make(chan response, 1)
+		go func() {
+			f, err := sess.Conn.Recv()
+			respc <- response{f, err}
+		}()
+		early := func() error {
+			select {
+			case r := <-respc:
+				switch {
+				case r.err != nil:
+					return fmt.Errorf("cluster: reading early backend reply: %w", r.err)
+				case r.f.Type == wire.MsgError:
+					return wire.DecodeError(r.f.Payload)
+				default:
+					return fmt.Errorf("cluster: unexpected backend message %#x mid-upload", byte(r.f.Type))
+				}
+			default:
+				return nil
+			}
+		}
+
+		for i := 0; ; i++ {
+			c, ok, err := buf.next(i)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if err := early(); err != nil {
+				return err
+			}
+			chunk := wire.IndexChunk{Offset: c.offset, Ciphertexts: c.body, Width: width}
+			if err := sess.Conn.Send(wire.MsgIndexChunk, chunk.Encode()); err != nil {
+				return err
+			}
+		}
+		if err := sess.Conn.Send(wire.MsgDone, nil); err != nil {
+			return err
+		}
+		r := <-respc
+		if r.err != nil {
+			return fmt.Errorf("cluster: reading partial sum: %w", r.err)
+		}
+		switch r.f.Type {
+		case wire.MsgSum:
+			ct, err := pk.ParseCiphertext(r.f.Payload)
+			if err != nil {
+				return fmt.Errorf("cluster: parsing partial sum: %w", err)
+			}
+			partial = ct
+			return nil
+		case wire.MsgError:
+			return wire.DecodeError(r.f.Payload)
+		default:
+			return fmt.Errorf("cluster: expected partial sum, got message type %#x", byte(r.f.Type))
+		}
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return partial, addr, nil
+}

@@ -1,0 +1,400 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"privstats/internal/database"
+	"privstats/internal/homomorphic"
+	"privstats/internal/metrics"
+	"privstats/internal/selectedsum"
+	"privstats/internal/wire"
+)
+
+// Defaults for zero ClientConfig fields.
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultIOTimeout   = 30 * time.Second
+	DefaultRetries     = 2
+	DefaultBackoff     = 50 * time.Millisecond
+	DefaultMaxBackoff  = 2 * time.Second
+	DefaultMaxConns    = 8
+	DefaultProbeAfter  = 2 * time.Second
+)
+
+// ClientConfig tunes the production client runtime. The zero value gets
+// the defaults above.
+type ClientConfig struct {
+	// DialTimeout bounds each TCP connect.
+	DialTimeout time.Duration
+	// IOTimeout is the per-frame idle/write deadline on backend sessions:
+	// a backend that stalls longer than this mid-session fails the attempt
+	// (and the attempt fails over).
+	IOTimeout time.Duration
+	// Retries is the extra attempts after the first, spread across the
+	// candidate backends. Negative means no retries at all.
+	Retries int
+	// Backoff is the sleep before retry attempt k, doubled each time
+	// (Backoff, 2·Backoff, 4·Backoff, ...) and jittered ±50%.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// MaxConnsPerBackend bounds concurrent sessions per backend. The
+	// protocol is one session per connection (the server closes the
+	// connection after the sum), so the pool manages connection slots, not
+	// idle sockets: holding warm idle connections would pin server
+	// admission slots and be reaped by its idle timeout.
+	MaxConnsPerBackend int
+	// ProbeAfter is how long a backend marked down is skipped before one
+	// attempt is let through as a probe; the penalty doubles (capped at
+	// 16× ProbeAfter) while probes keep failing.
+	ProbeAfter time.Duration
+	// Metrics receives retry/failover counters and per-backend fan-out
+	// histograms; nil allocates a private set.
+	Metrics *metrics.ClusterMetrics
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = DefaultIOTimeout
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = DefaultBackoff
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = DefaultMaxBackoff
+	}
+	if c.MaxConnsPerBackend <= 0 {
+		c.MaxConnsPerBackend = DefaultMaxConns
+	}
+	if c.ProbeAfter <= 0 {
+		c.ProbeAfter = DefaultProbeAfter
+	}
+	return c
+}
+
+// Client is the production client runtime: per-backend connection slots,
+// dial/IO timeouts, bounded retry with exponential backoff and jitter, and
+// failover across a candidate list steered by per-backend health. One
+// Client is meant to be shared: the aggregator uses one for all shards,
+// and cmd/sumclient builds one from its flags. All methods are safe for
+// concurrent use.
+type Client struct {
+	cfg ClientConfig
+	m   *metrics.ClusterMetrics
+
+	mu     sync.Mutex
+	health map[string]*backendHealth
+	slots  map[string]chan struct{}
+
+	// now and sleep are stubbed in tests.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewClient builds a Client; zero config fields get defaults.
+func NewClient(cfg ClientConfig) *Client {
+	cfg = cfg.withDefaults()
+	m := cfg.Metrics
+	if m == nil {
+		m = &metrics.ClusterMetrics{}
+	}
+	return &Client{
+		cfg:    cfg,
+		m:      m,
+		health: make(map[string]*backendHealth),
+		slots:  make(map[string]chan struct{}),
+		now:    time.Now,
+		sleep:  sleepCtx,
+	}
+}
+
+// Metrics returns the client's metrics set.
+func (c *Client) Metrics() *metrics.ClusterMetrics { return c.m }
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// backendHealth is the circuit state for one backend.
+type backendHealth struct {
+	mu          sync.Mutex
+	consecFails int
+	downUntil   time.Time
+}
+
+func (c *Client) healthOf(addr string) *backendHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.health[addr]
+	if h == nil {
+		h = &backendHealth{}
+		c.health[addr] = h
+	}
+	return h
+}
+
+// available reports whether addr should be attempted now. A backend is
+// down after a failure until its penalty window passes; the first attempt
+// after the window is the probe.
+func (c *Client) available(addr string) bool {
+	h := c.healthOf(addr)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.consecFails == 0 || c.now().After(h.downUntil)
+}
+
+// noteFailure records a failed attempt and (re)arms the down window with
+// doubling penalty.
+func (c *Client) noteFailure(addr string) {
+	h := c.healthOf(addr)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consecFails++
+	penalty := c.cfg.ProbeAfter
+	for i := 1; i < h.consecFails && penalty < 16*c.cfg.ProbeAfter; i++ {
+		penalty *= 2
+	}
+	if penalty > 16*c.cfg.ProbeAfter {
+		penalty = 16 * c.cfg.ProbeAfter
+	}
+	h.downUntil = c.now().Add(penalty)
+}
+
+// noteSuccess resets the backend's circuit.
+func (c *Client) noteSuccess(addr string) {
+	h := c.healthOf(addr)
+	h.mu.Lock()
+	h.consecFails = 0
+	h.downUntil = time.Time{}
+	h.mu.Unlock()
+}
+
+// slot acquires a connection slot for addr, waiting if the per-backend cap
+// is saturated. The returned release must be called exactly once.
+func (c *Client) slot(ctx context.Context, addr string) (release func(), err error) {
+	c.mu.Lock()
+	sem := c.slots[addr]
+	if sem == nil {
+		sem = make(chan struct{}, c.cfg.MaxConnsPerBackend)
+		c.slots[addr] = sem
+	}
+	c.mu.Unlock()
+	select {
+	case sem <- struct{}{}:
+		return func() { <-sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// pick chooses the next backend to attempt: the first available candidate
+// in order (primary preference), or — when every candidate is down — the
+// one whose down window expires soonest, so a fully dark group still gets
+// probed instead of failing without an attempt.
+func (c *Client) pick(backends []string) string {
+	for _, b := range backends {
+		if c.available(b) {
+			return b
+		}
+	}
+	best := backends[0]
+	bestUntil := time.Time{}
+	for i, b := range backends {
+		h := c.healthOf(b)
+		h.mu.Lock()
+		until := h.downUntil
+		h.mu.Unlock()
+		if i == 0 || until.Before(bestUntil) {
+			best, bestUntil = b, until
+		}
+	}
+	return best
+}
+
+// dial opens a framed session to addr with deadlines armed. It consumes a
+// connection slot; Close the session to release it.
+func (c *Client) dial(ctx context.Context, addr string) (*Session, error) {
+	release, err := c.slot(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	d := net.Dialer{Timeout: c.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		release()
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	wc := wire.NewConn(conn)
+	wc.SetIdleTimeout(c.cfg.IOTimeout)
+	wc.SetWriteTimeout(c.cfg.IOTimeout)
+	return &Session{Addr: addr, Conn: wc, raw: conn, release: release}, nil
+}
+
+// Session is one framed backend connection plus its pool slot.
+type Session struct {
+	Addr string
+	Conn *wire.Conn
+
+	raw       net.Conn
+	release   func()
+	closeOnce sync.Once
+}
+
+// Close closes the connection and releases the pool slot. Safe to call
+// more than once.
+func (s *Session) Close() {
+	s.closeOnce.Do(func() {
+		s.raw.Close()
+		s.release()
+	})
+}
+
+// IsBusy reports whether err is a server admission-control busy rejection
+// — worth retrying elsewhere (or later), unlike a protocol error.
+func IsBusy(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "busy")
+}
+
+// retryable classifies errors worth another attempt: connection-level
+// failures, timeouts, and busy rejections. Protocol-level rejections (bad
+// vector length, unknown scheme, ...) are deterministic and fail fast.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if IsBusy(err) || wire.IsTimeout(err) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
+		return true
+	}
+	var ne *net.OpError
+	return errors.As(err, &ne)
+}
+
+// backoff returns the jittered sleep before retry attempt k (k = 1 for the
+// first retry): Backoff·2^(k-1), capped at MaxBackoff, jittered ±50% so a
+// burst of failed fan-outs does not re-converge on the struggling backend
+// in lockstep.
+func (c *Client) backoff(k int) time.Duration {
+	d := c.cfg.Backoff
+	for i := 1; i < k && d < c.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	// Jitter in [0.5d, 1.5d).
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// Do runs fn against the candidate backends (primary first) with bounded
+// retry, backoff, and failover. fn receives a fresh session and must
+// complete one protocol exchange on it; Do closes the session afterwards.
+// It returns the address that served the successful attempt.
+func (c *Client) Do(ctx context.Context, backends []string, fn func(s *Session) error) (string, error) {
+	if len(backends) == 0 {
+		return "", errors.New("cluster: no backends to try")
+	}
+	attempts := c.cfg.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	lastAddr := ""
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt)); err != nil {
+				return "", err
+			}
+		}
+		addr := c.pick(backends)
+		if attempt > 0 {
+			if addr == lastAddr {
+				c.m.Retries.Inc()
+			} else {
+				c.m.Failovers.Inc()
+			}
+		}
+		lastAddr = addr
+		err := c.attempt(ctx, addr, fn)
+		if err == nil {
+			return addr, nil
+		}
+		lastErr = fmt.Errorf("backend %s: %w", addr, err)
+		if !retryable(err) {
+			return "", lastErr
+		}
+		if ctx.Err() != nil {
+			return "", ctx.Err()
+		}
+	}
+	c.m.ShardFailures.Inc()
+	return "", fmt.Errorf("cluster: all %d attempts failed: %w", attempts, lastErr)
+}
+
+// attempt runs one dial + fn cycle against addr with metrics and health
+// bookkeeping.
+func (c *Client) attempt(ctx context.Context, addr string, fn func(s *Session) error) error {
+	bm := c.m.Backend(addr)
+	bm.Sessions.Inc()
+	start := c.now()
+	s, err := c.dial(ctx, addr)
+	if err == nil {
+		err = fn(s)
+		s.Close()
+	}
+	if err != nil {
+		bm.Errors.Inc()
+		if IsBusy(err) {
+			bm.Busy.Inc()
+		}
+		c.noteFailure(addr)
+		return err
+	}
+	bm.FanoutNanos.ObserveDuration(c.now().Sub(start))
+	c.noteSuccess(addr)
+	return nil
+}
+
+// Query runs one selected-sum query with the runtime's full retry/failover
+// policy: it encrypts the selection, streams it to a backend in chunks of
+// chunkSize, and returns the decrypted sum. backends is the failover list
+// (a single address for the classic one-server setup). pool, when non-nil,
+// supplies preprocessed bit encryptions; a retried attempt falls back to
+// online encryption for whatever the pool has already handed out.
+func (c *Client) Query(ctx context.Context, backends []string, sk homomorphic.PrivateKey, sel *database.Selection, chunkSize int, pool homomorphic.EncryptorPool) (*big.Int, error) {
+	c.m.Queries.Inc()
+	var sum *big.Int
+	_, err := c.Do(ctx, backends, func(s *Session) error {
+		got, err := selectedsum.Query(s.Conn, sk, sel, chunkSize, pool)
+		if err != nil {
+			return err
+		}
+		sum = got
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sum, nil
+}

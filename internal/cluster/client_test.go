@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the client's health windows without real sleeps.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time                { return f.t }
+func (f *fakeClock) advance(d time.Duration)       { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock                     { return &fakeClock{t: time.Unix(1000, 0)} }
+func noSleep(context.Context, time.Duration) error { return nil }
+
+func TestBackoffBounds(t *testing.T) {
+	c := NewClient(ClientConfig{Backoff: 100 * time.Millisecond, MaxBackoff: 400 * time.Millisecond})
+	for k := 1; k <= 6; k++ {
+		base := 100 * time.Millisecond << (k - 1)
+		if base > 400*time.Millisecond {
+			base = 400 * time.Millisecond
+		}
+		for i := 0; i < 50; i++ {
+			d := c.backoff(k)
+			if d < base/2 || d >= base+base/2 {
+				t.Fatalf("backoff(%d) = %v outside [%v, %v)", k, d, base/2, base+base/2)
+			}
+		}
+	}
+}
+
+func TestHealthWindowAndProbe(t *testing.T) {
+	clk := newFakeClock()
+	c := NewClient(ClientConfig{ProbeAfter: time.Second})
+	c.now = clk.now
+
+	const addr = "db1:7001"
+	if !c.available(addr) {
+		t.Fatal("fresh backend not available")
+	}
+	c.noteFailure(addr)
+	if c.available(addr) {
+		t.Fatal("backend available immediately after failure")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !c.available(addr) {
+		t.Fatal("backend not offered as probe after window")
+	}
+	// A failing probe doubles the penalty: 2s now.
+	c.noteFailure(addr)
+	clk.advance(1100 * time.Millisecond)
+	if c.available(addr) {
+		t.Fatal("penalty did not double after failed probe")
+	}
+	clk.advance(1 * time.Second)
+	if !c.available(addr) {
+		t.Fatal("backend not probed after doubled window")
+	}
+	// Success closes the circuit entirely.
+	c.noteSuccess(addr)
+	if !c.available(addr) {
+		t.Fatal("backend not available after success")
+	}
+}
+
+func TestHealthPenaltyCapped(t *testing.T) {
+	clk := newFakeClock()
+	c := NewClient(ClientConfig{ProbeAfter: time.Second})
+	c.now = clk.now
+	const addr = "db1:7001"
+	for i := 0; i < 30; i++ {
+		c.noteFailure(addr)
+	}
+	// Penalty is capped at 16× ProbeAfter: after 17s the probe must come.
+	clk.advance(17 * time.Second)
+	if !c.available(addr) {
+		t.Fatal("penalty exceeded the 16x cap")
+	}
+}
+
+func TestPickPrefersPrimary(t *testing.T) {
+	clk := newFakeClock()
+	c := NewClient(ClientConfig{ProbeAfter: time.Second})
+	c.now = clk.now
+	backends := []string{"primary:1", "replica:1", "replica:2"}
+
+	if got := c.pick(backends); got != "primary:1" {
+		t.Fatalf("pick = %q, want primary", got)
+	}
+	c.noteFailure("primary:1")
+	if got := c.pick(backends); got != "replica:1" {
+		t.Fatalf("pick with primary down = %q, want first replica", got)
+	}
+	c.noteFailure("replica:1")
+	if got := c.pick(backends); got != "replica:2" {
+		t.Fatalf("pick = %q, want second replica", got)
+	}
+	// All down: the candidate whose window expires soonest gets the probe.
+	c.noteFailure("replica:2")
+	c.noteFailure("replica:2") // replica:2 now has the longest window
+	got := c.pick(backends)
+	if got != "primary:1" && got != "replica:1" {
+		t.Fatalf("pick with all down = %q, want a soonest-expiring candidate", got)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("server busy: admission limit reached"), true},
+		{io.EOF, true},
+		{io.ErrUnexpectedEOF, true},
+		{io.ErrClosedPipe, true},
+		{&net.OpError{Op: "read", Err: errors.New("connection reset by peer")}, true},
+		{fmt.Errorf("wrapped: %w", io.EOF), true},
+		{errors.New("vector length mismatch"), false},
+		{errors.New("unknown scheme"), false},
+	}
+	for _, tc := range cases {
+		if got := retryable(tc.err); got != tc.want {
+			t.Errorf("retryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestDoFailsFastOnProtocolError: a deterministic rejection must not burn
+// retries or mark replicas down.
+func TestDoFailsFastOnProtocolError(t *testing.T) {
+	c := NewClient(ClientConfig{Retries: 5, Backoff: time.Millisecond})
+	c.sleep = noSleep
+	// Point at a listener that accepts, so dial succeeds and fn runs.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) { io.Copy(io.Discard, conn); conn.Close() }(conn)
+		}
+	}()
+
+	calls := 0
+	_, err = c.Do(context.Background(), []string{ln.Addr().String()}, func(s *Session) error {
+		calls++
+		return errors.New("protocol: bad vector length")
+	})
+	if err == nil {
+		t.Fatal("protocol error swallowed")
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1 (fail fast)", calls)
+	}
+}
+
+// TestDoRetriesAndCounts: retryable failures consume attempts, bump the
+// retry counter when the same backend is re-picked, and surface the last
+// error after exhaustion.
+func TestDoRetriesAndCounts(t *testing.T) {
+	c := NewClient(ClientConfig{Retries: 2, Backoff: time.Millisecond, ProbeAfter: time.Nanosecond})
+	c.sleep = noSleep
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) { io.Copy(io.Discard, conn); conn.Close() }(conn)
+		}
+	}()
+
+	calls := 0
+	_, err = c.Do(context.Background(), []string{ln.Addr().String()}, func(s *Session) error {
+		calls++
+		return io.EOF
+	})
+	if err == nil {
+		t.Fatal("exhausted attempts reported success")
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3 (1 + 2 retries)", calls)
+	}
+	s := c.Metrics().Snapshot()
+	if s.Retries != 2 {
+		t.Errorf("retries counter = %d, want 2", s.Retries)
+	}
+	if s.ShardFailures != 1 {
+		t.Errorf("shard failures = %d, want 1", s.ShardFailures)
+	}
+}
+
+// TestDoFailsOverToReplica: a dead primary (nothing listening) falls over
+// to the live replica within the attempt budget.
+func TestDoFailsOverToReplica(t *testing.T) {
+	c := NewClient(ClientConfig{Retries: 2, Backoff: time.Millisecond, DialTimeout: 200 * time.Millisecond})
+	c.sleep = noSleep
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close() // nothing listening: connect refused
+
+	live, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	go func() {
+		for {
+			conn, err := live.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) { io.Copy(io.Discard, conn); conn.Close() }(conn)
+		}
+	}()
+
+	served, err := c.Do(context.Background(), []string{dead, live.Addr().String()}, func(s *Session) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("failover did not recover: %v", err)
+	}
+	if served != live.Addr().String() {
+		t.Fatalf("served by %q, want the live replica", served)
+	}
+	if fo := c.Metrics().Snapshot().Failovers; fo < 1 {
+		t.Errorf("failovers = %d, want >= 1", fo)
+	}
+}
+
+func TestDoNoBackends(t *testing.T) {
+	c := NewClient(ClientConfig{})
+	if _, err := c.Do(context.Background(), nil, func(*Session) error { return nil }); err == nil {
+		t.Fatal("empty backend list accepted")
+	}
+}
+
+func TestSlotCapBlocksAndReleases(t *testing.T) {
+	c := NewClient(ClientConfig{MaxConnsPerBackend: 1})
+	rel1, err := c.slot(context.Background(), "db:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second slot must block until the first releases: prove it via a
+	// short-deadline context.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.slot(ctx, "db:1"); err == nil {
+		t.Fatal("slot cap not enforced")
+	}
+	rel1()
+	rel2, err := c.slot(context.Background(), "db:1")
+	if err != nil {
+		t.Fatalf("slot not released: %v", err)
+	}
+	rel2()
+}
+
+func TestIsBusy(t *testing.T) {
+	if !IsBusy(errors.New("server busy, try again")) {
+		t.Error("busy not recognized")
+	}
+	if IsBusy(errors.New("vector length mismatch")) || IsBusy(nil) {
+		t.Error("false positive")
+	}
+}

@@ -1,0 +1,569 @@
+package cluster
+
+import (
+	"context"
+	"crypto/rand"
+	"math/big"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"privstats/internal/database"
+	"privstats/internal/homomorphic"
+	"privstats/internal/metrics"
+	"privstats/internal/paillier"
+	"privstats/internal/selectedsum"
+	"privstats/internal/server"
+	"privstats/internal/wire"
+)
+
+var (
+	tkOnce sync.Once
+	tkKey  *paillier.PrivateKey
+	tkErr  error
+)
+
+// testKey returns a shared 256-bit test key. Importing paillier also
+// registers the scheme with the hello parser.
+func testKey(t testing.TB) homomorphic.PrivateKey {
+	t.Helper()
+	tkOnce.Do(func() { tkKey, tkErr = paillier.KeyGen(rand.Reader, 256) })
+	if tkErr != nil {
+		t.Fatalf("KeyGen: %v", tkErr)
+	}
+	return paillier.SchemeKey{SK: tkKey}
+}
+
+func discardLogf(string, ...any) {}
+
+// fixture builds a deterministic random table + selection and the
+// cleartext oracle sum.
+func fixture(t testing.TB, n, m int, seed int64) (*database.Table, *database.Selection, *big.Int) {
+	t.Helper()
+	table, err := database.Generate(n, database.DistUniform, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := database.GenerateSelection(n, m, database.PatternRandom, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := table.SelectedSum(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table, sel, want
+}
+
+// startBackend serves one shard table on loopback TCP through the stock
+// server runtime and returns its address.
+func startBackend(t *testing.T, shard *database.Table) string {
+	t.Helper()
+	srv, err := server.New(shard, server.Config{Logf: discardLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serveOn(t, srv)
+}
+
+// startProxy hosts an aggregator over sm on the server runtime and returns
+// its address plus the hosting server (for /stats assertions).
+func startProxy(t *testing.T, sm *ShardMap, client *Client) (string, *server.Server) {
+	t.Helper()
+	agg, err := NewAggregator(sm, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.NewHandler(agg, server.Config{Logf: discardLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serveOn(t, srv), srv
+}
+
+func serveOn(t *testing.T, srv *server.Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		select {
+		case <-errc:
+		case <-time.After(5 * time.Second):
+			t.Error("Serve did not return after Shutdown")
+		}
+	})
+	return ln.Addr().String()
+}
+
+// startCluster shards table over k backends (1 node per shard) and starts
+// an aggregator in front; it returns the proxy address, the hosting
+// server, and the fan-out client.
+func startCluster(t *testing.T, table *database.Table, k int) (string, *server.Server, *Client) {
+	t.Helper()
+	groups := make([][]string, k)
+	// Compute the ranges first, then start one backend per range.
+	ranges := make([]Shard, k)
+	lo := 0
+	for i := 0; i < k; i++ {
+		rows := table.Len() / k
+		if i < table.Len()%k {
+			rows++
+		}
+		ranges[i] = Shard{Lo: lo, Hi: lo + rows}
+		lo += rows
+	}
+	for i, r := range ranges {
+		shardTable, err := table.Shard(r.Lo, r.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[i] = []string{startBackend(t, shardTable)}
+		ranges[i].Backends = groups[i]
+	}
+	sm, err := NewShardMap(ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(ClientConfig{Retries: 2, Backoff: 5 * time.Millisecond, ProbeAfter: 50 * time.Millisecond})
+	addr, srv := startProxy(t, sm, client)
+	return addr, srv, client
+}
+
+// TestClusterEndToEnd is the headline acceptance test: k ∈ {1,2,4} shards
+// over real TCP loopback, random database and selection, decrypted total
+// equals the cleartext oracle for every k.
+func TestClusterEndToEnd(t *testing.T) {
+	sk := testKey(t)
+	for _, k := range []int{1, 2, 4} {
+		table, sel, want := fixture(t, 48, 20, int64(100+k))
+		addr, _, client := startCluster(t, table, k)
+		got, err := client.Query(context.Background(), []string{addr}, sk, sel, 7, nil)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Errorf("k=%d: sum = %v, want %v", k, got, want)
+		}
+	}
+}
+
+// TestClusterSingleChunk exercises the no-batching path (whole vector in
+// one chunk spanning every shard).
+func TestClusterSingleChunk(t *testing.T) {
+	sk := testKey(t)
+	table, sel, want := fixture(t, 30, 11, 7)
+	addr, _, client := startCluster(t, table, 3)
+	got, err := client.Query(context.Background(), []string{addr}, sk, sel, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+// TestClusterRejectsWrongVectorLen: a client announcing the wrong logical
+// size gets a protocol error, not a hang or a wrong answer.
+func TestClusterRejectsWrongVectorLen(t *testing.T) {
+	sk := testKey(t)
+	table, _, _ := fixture(t, 24, 10, 9)
+	addr, _, _ := startCluster(t, table, 2)
+
+	badSel, err := database.GenerateSelection(10, 4, database.PatternRandom, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, err = selectedsum.Query(wire.NewConn(conn), sk, badSel, 0, nil)
+	if err == nil {
+		t.Fatal("wrong vector length accepted")
+	}
+}
+
+// dyingBackend accepts connections, reads a little, then drops them — a
+// backend killed mid-session. Returns its address and a stop func.
+func dyingBackend(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				buf := make([]byte, 512)
+				_, _ = c.Read(buf) // let the session start, then die
+				c.Close()
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestClusterFailover kills a shard's primary mid-run: the query must
+// complete via the replica, and the failover must be visible in the
+// aggregator's /stats counters.
+func TestClusterFailover(t *testing.T) {
+	sk := testKey(t)
+	table, sel, want := fixture(t, 40, 17, 31)
+
+	half := table.Len() / 2
+	shard0, err := table.Shard(0, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard1, err := table.Shard(half, table.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := dyingBackend(t) // primary of shard 1: dies mid-session
+	live := startBackend(t, shard1)
+	sm, err := NewShardMap([]Shard{
+		{Lo: 0, Hi: half, Backends: []string{startBackend(t, shard0)}},
+		{Lo: half, Hi: table.Len(), Backends: []string{dead, live}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(ClientConfig{Retries: 3, Backoff: 5 * time.Millisecond, ProbeAfter: time.Minute})
+	addr, srv := startProxy(t, sm, client)
+
+	got, err := client.Query(context.Background(), []string{addr}, sk, sel, 5, nil)
+	if err != nil {
+		t.Fatalf("query did not survive backend death: %v", err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+
+	cs := client.Metrics().Snapshot()
+	if cs.Failovers < 1 {
+		t.Errorf("failovers = %d, want >= 1", cs.Failovers)
+	}
+	if bs := cs.Backends[dead]; bs.Errors < 1 {
+		t.Errorf("dead backend errors = %d, want >= 1", bs.Errors)
+	}
+	if bs := cs.Backends[live]; bs.Sessions < 1 {
+		t.Errorf("live replica sessions = %d, want >= 1", bs.Sessions)
+	}
+	// The hosting runtime completed the session despite the mid-run death.
+	if srv.Metrics().SessionsCompleted.Value() != 1 {
+		t.Errorf("proxy completed = %d, want 1", srv.Metrics().SessionsCompleted.Value())
+	}
+
+	// A second query skips the dead primary without burning an attempt on
+	// it (health window is a minute): no new errors against it.
+	before := client.Metrics().Snapshot().Backends[dead].Sessions
+	if _, err := client.Query(context.Background(), []string{addr}, sk, sel, 5, nil); err != nil {
+		t.Fatalf("second query: %v", err)
+	}
+	after := client.Metrics().Snapshot().Backends[dead].Sessions
+	if after != before {
+		t.Errorf("dead backend was attempted again while down: %d -> %d sessions", before, after)
+	}
+}
+
+// recorder captures the frames a tap forwarded, per direction.
+type recorder struct {
+	mu   sync.Mutex
+	up   []wire.Frame // client-of-tap → target
+	down []wire.Frame // target → client-of-tap
+}
+
+func (r *recorder) add(up bool, f wire.Frame) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := append([]byte(nil), f.Payload...)
+	if up {
+		r.up = append(r.up, wire.Frame{Type: f.Type, Payload: p})
+	} else {
+		r.down = append(r.down, wire.Frame{Type: f.Type, Payload: p})
+	}
+}
+
+func (r *recorder) snapshot() (up, down []wire.Frame) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]wire.Frame(nil), r.up...), append([]wire.Frame(nil), r.down...)
+}
+
+// startTap forwards loopback TCP to target, recording every frame.
+func startTap(t *testing.T, target string, rec *recorder) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	pump := func(src, dst net.Conn, up bool) {
+		defer dst.Close()
+		defer src.Close()
+		for {
+			f, _, err := wire.ReadFrame(src)
+			if err != nil {
+				return
+			}
+			rec.add(up, f)
+			if _, err := wire.WriteFrame(dst, f.Type, f.Payload); err != nil {
+				return
+			}
+		}
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				b, err := net.Dial("tcp", target)
+				if err != nil {
+					c.Close()
+					return
+				}
+				go pump(c, b, true)
+				pump(b, c, false)
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestClusterPrivacyInvariants checks, on the wire, the three properties
+// the trust argument rests on: each backend receives only ciphertexts
+// covering its own row range; the aggregator's reply is rerandomized (it
+// differs from the raw homomorphic product of the partials); and the
+// client observes exactly one ciphertext — no per-shard partials.
+func TestClusterPrivacyInvariants(t *testing.T) {
+	sk := testKey(t)
+	pk := sk.PublicKey()
+	width := pk.CiphertextSize()
+	table, sel, want := fixture(t, 36, 15, 77)
+	half := table.Len() / 2
+
+	shard0, err := table.Shard(0, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard1, err := table.Shard(half, table.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []*recorder{{}, {}}
+	tap0 := startTap(t, startBackend(t, shard0), recs[0])
+	tap1 := startTap(t, startBackend(t, shard1), recs[1])
+	sm, err := NewShardMap([]Shard{
+		{Lo: 0, Hi: half, Backends: []string{tap0}},
+		{Lo: half, Hi: table.Len(), Backends: []string{tap1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(ClientConfig{})
+	addr, _ := startProxy(t, sm, client)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	got, err := selectedsum.Query(wc, sk, sel, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+
+	// Invariant 3: the client saw exactly one inbound frame — the sum.
+	_, _, _, framesIn := wc.Meter.Snapshot()
+	if framesIn != 1 {
+		t.Errorf("client received %d frames, want exactly 1 (the sum)", framesIn)
+	}
+
+	// Invariant 1: each backend saw a hello scoped to its own range and
+	// chunks covering exactly [Lo, Hi) — nothing outside it.
+	bounds := [][2]uint64{{0, uint64(half)}, {uint64(half), uint64(table.Len())}}
+	var partials []homomorphic.Ciphertext
+	for i, rec := range recs {
+		up, down := rec.snapshot()
+		lo, hi := bounds[i][0], bounds[i][1]
+		var covered uint64
+		for _, f := range up {
+			switch f.Type {
+			case wire.MsgHello:
+				h, err := wire.DecodeHello(f.Payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if h.RowOffset != lo || h.VectorLen != hi-lo {
+					t.Errorf("backend %d hello scoped [%d,%d), want [%d,%d)", i, h.RowOffset, h.RowOffset+h.VectorLen, lo, hi)
+				}
+			case wire.MsgIndexChunk:
+				c, err := wire.DecodeIndexChunk(f.Payload, width)
+				if err != nil {
+					t.Fatal(err)
+				}
+				end := c.Offset + uint64(c.Count())
+				if c.Offset < lo || end > hi {
+					t.Errorf("backend %d received chunk [%d,%d) outside its range [%d,%d)", i, c.Offset, end, lo, hi)
+				}
+				covered += uint64(c.Count())
+			}
+		}
+		if covered != hi-lo {
+			t.Errorf("backend %d received %d ciphertexts, want %d", i, covered, hi-lo)
+		}
+		sums := 0
+		for _, f := range down {
+			if f.Type == wire.MsgSum {
+				sums++
+				ct, err := pk.ParseCiphertext(f.Payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				partials = append(partials, ct)
+			}
+		}
+		if sums != 1 {
+			t.Errorf("backend %d sent %d sums, want 1", i, sums)
+		}
+	}
+
+	// Invariant 2: the reply is not the raw homomorphic product of the
+	// partials the aggregator received (rerandomization happened), while
+	// still decrypting to the same total.
+	if len(partials) == 2 {
+		product, err := pk.Add(partials[0], partials[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply := queryRawReply(t, addr, sk, sel)
+		if string(reply) == string(product.Bytes()) {
+			t.Error("aggregator reply equals the raw homomorphic product: not rerandomized")
+		}
+		ct, err := pk.ParseCiphertext(reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Cmp(want) != 0 {
+			t.Errorf("rerandomized reply decrypts to %v, want %v", dec, want)
+		}
+	}
+}
+
+// queryRawReply runs a session and returns the reply ciphertext bytes.
+func queryRawReply(t *testing.T, addr string, sk homomorphic.PrivateKey, sel *database.Selection) []byte {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	pk := sk.PublicKey()
+	keyBytes, err := pk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sel.Len()
+	hello := wire.Hello{Version: wire.Version, Scheme: pk.SchemeName(), PublicKey: keyBytes, VectorLen: uint64(n), ChunkLen: 0}
+	if err := wc.Send(wire.MsgHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	body, err := selectedsum.EncryptRange(selectedsum.Online{PK: pk}, sel, 0, n, pk.CiphertextSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := wire.IndexChunk{Offset: 0, Ciphertexts: body, Width: pk.CiphertextSize()}
+	if err := wc.Send(wire.MsgIndexChunk, chunk.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Send(wire.MsgDone, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := wc.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.MsgSum {
+		t.Fatalf("expected sum, got %#x", byte(f.Type))
+	}
+	return f.Payload
+}
+
+// TestShardSessionGlobalOffsets exercises the selectedsum shard session
+// directly: a sub-range fold addressed in global row coordinates.
+func TestShardSessionGlobalOffsets(t *testing.T) {
+	sk := testKey(t)
+	pk := sk.PublicKey()
+	table, sel, _ := fixture(t, 20, 8, 5)
+	shard, err := table.Shard(12, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := selectedsum.NewShardSession(pk, shard.Column(), 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := pk.CiphertextSize()
+	body, err := selectedsum.EncryptRange(selectedsum.Online{PK: pk}, sel, 12, 20, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Absorb(&wire.IndexChunk{Offset: 12, Ciphertexts: body, Width: width}); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := sess.Finalize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subSel, err := sel.Slice(12, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := shard.SelectedSum(subSel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Errorf("shard fold = %v, want %v", got, want)
+	}
+
+	// A chunk below the shard's base must be rejected, not wrap around.
+	sess2, err := selectedsum.NewShardSession(pk, shard.Column(), 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess2.Absorb(&wire.IndexChunk{Offset: 0, Ciphertexts: body, Width: width}); err == nil {
+		t.Error("chunk below shard base accepted")
+	}
+}
+
+var _ = metrics.ClusterSnapshot{} // keep the import in smoke builds

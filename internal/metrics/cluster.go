@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Cluster-layer metrics: the aggregator fans each client session out to
+// sharded backends through the retrying cluster client, and these are the
+// counters that make that path operable — how often backends failed, how
+// often a retry or a failover to a replica saved the query, and what each
+// backend's shard sessions cost end to end.
+
+// BackendMetrics records one backend's view from the aggregator side.
+type BackendMetrics struct {
+	// Sessions counts shard sessions attempted against this backend
+	// (including retries and replayed failovers).
+	Sessions Counter
+	// Errors counts attempts that failed for any reason: dial failure,
+	// busy rejection, timeout, protocol error.
+	Errors Counter
+	// Busy counts the subset of Errors that were admission-control busy
+	// rejections — load shedding, not breakage.
+	Busy Counter
+	// FanoutNanos is the latency of complete shard sessions against this
+	// backend (dial through partial-sum receipt), successful attempts only.
+	FanoutNanos Histogram
+}
+
+// ClusterMetrics aggregates the fan-out path. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type ClusterMetrics struct {
+	// Queries counts logical fan-out queries (one per aggregator client
+	// session, or one per cluster-client call).
+	Queries Counter
+	// Retries counts extra attempts on the same backend after a failure.
+	Retries Counter
+	// Failovers counts switches to a different backend of the same shard
+	// group after the current one was given up on.
+	Failovers Counter
+	// ShardFailures counts shards that exhausted every candidate backend —
+	// each one failed a client query.
+	ShardFailures Counter
+	// CombineNanos is the aggregator's homomorphic combine + rerandomize
+	// phase.
+	CombineNanos Histogram
+
+	mu       sync.Mutex
+	backends map[string]*BackendMetrics
+}
+
+// Backend returns (allocating on first use) the metrics bucket for addr.
+func (m *ClusterMetrics) Backend(addr string) *BackendMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.backends == nil {
+		m.backends = make(map[string]*BackendMetrics)
+	}
+	b := m.backends[addr]
+	if b == nil {
+		b = &BackendMetrics{}
+		m.backends[addr] = b
+	}
+	return b
+}
+
+// BackendSnapshot is the JSON form of one backend's counters.
+type BackendSnapshot struct {
+	Sessions    int64             `json:"sessions"`
+	Errors      int64             `json:"errors"`
+	Busy        int64             `json:"busy"`
+	FanoutNanos HistogramSnapshot `json:"fanout_nanos"`
+}
+
+// ClusterSnapshot is the JSON form of the cluster metrics.
+type ClusterSnapshot struct {
+	Queries       int64                      `json:"queries"`
+	Retries       int64                      `json:"retries"`
+	Failovers     int64                      `json:"failovers"`
+	ShardFailures int64                      `json:"shard_failures"`
+	CombineNanos  HistogramSnapshot          `json:"combine_nanos"`
+	Backends      map[string]BackendSnapshot `json:"backends"`
+}
+
+// Snapshot captures the current state of every cluster metric.
+func (m *ClusterMetrics) Snapshot() ClusterSnapshot {
+	s := ClusterSnapshot{
+		Queries:       m.Queries.Value(),
+		Retries:       m.Retries.Value(),
+		Failovers:     m.Failovers.Value(),
+		ShardFailures: m.ShardFailures.Value(),
+		CombineNanos:  m.CombineNanos.Snapshot(),
+		Backends:      make(map[string]BackendSnapshot),
+	}
+	m.mu.Lock()
+	addrs := make([]string, 0, len(m.backends))
+	for a := range m.backends {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	buckets := make([]*BackendMetrics, len(addrs))
+	for i, a := range addrs {
+		buckets[i] = m.backends[a]
+	}
+	m.mu.Unlock()
+	for i, a := range addrs {
+		b := buckets[i]
+		s.Backends[a] = BackendSnapshot{
+			Sessions:    b.Sessions.Value(),
+			Errors:      b.Errors.Value(),
+			Busy:        b.Busy.Value(),
+			FanoutNanos: b.FanoutNanos.Snapshot(),
+		}
+	}
+	return s
+}
+
+// combinedSnapshot is the /stats document of a cluster daemon: the hosting
+// server runtime's counters plus the fan-out path's.
+type combinedSnapshot struct {
+	Server  Snapshot        `json:"server"`
+	Cluster ClusterSnapshot `json:"cluster"`
+}
+
+// ClusterStatsHandler serves the merged server+cluster JSON snapshot —
+// what cmd/sumproxy mounts at /stats.
+func ClusterStatsHandler(sm *ServerMetrics, cm *ClusterMetrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		doc := combinedSnapshot{Server: sm.Snapshot(time.Now()), Cluster: cm.Snapshot()}
+		if err := enc.Encode(doc); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

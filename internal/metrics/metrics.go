@@ -112,18 +112,31 @@ type HistogramSnapshot struct {
 	P99   int64   `json:"p99"`
 }
 
-// Snapshot returns the current summary.
+// Snapshot returns the current summary. With zero observations every
+// derived field (mean, quantiles, min, max) is exactly 0 — never NaN or
+// ±Inf, which encoding/json refuses to marshal and which would therefore
+// break the whole /stats document for any consumer the moment one
+// histogram is still empty.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
 	if h.count > 0 {
-		s.Mean = float64(h.sum) / float64(h.count)
+		s.Mean = finiteOrZero(float64(h.sum) / float64(h.count))
 		s.P50 = h.quantileLocked(0.50)
 		s.P95 = h.quantileLocked(0.95)
 		s.P99 = h.quantileLocked(0.99)
 	}
 	return s
+}
+
+// finiteOrZero clamps non-finite float results to 0 so snapshots always
+// JSON-encode.
+func finiteOrZero(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
 }
 
 // quantileLocked estimates the q-quantile by walking the buckets and

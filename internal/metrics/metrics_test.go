@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"math"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -162,5 +163,90 @@ func TestSummaryMentionsCounts(t *testing.T) {
 	got := m.Summary()
 	if got == "" {
 		t.Fatal("empty summary")
+	}
+}
+
+// Regression: a histogram with zero observations must snapshot to all-zero
+// derived fields and survive a JSON round trip — NaN or Inf anywhere would
+// make encoding/json error out and take the whole /stats document with it.
+func TestHistogramZeroCountJSON(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 ||
+		s.Mean != 0 || s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Fatalf("zero-count snapshot has non-zero fields: %+v", s)
+	}
+	if s.Mean != s.Mean || s.Mean > 1e300 || s.Mean < -1e300 {
+		t.Fatalf("zero-count mean is not a plain finite zero: %v", s.Mean)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("zero-count snapshot does not marshal: %v", err)
+	}
+	var back HistogramSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("zero-count snapshot does not round trip: %v", err)
+	}
+	if back != s {
+		t.Fatalf("round trip changed snapshot: %+v != %+v", back, s)
+	}
+}
+
+func TestFiniteOrZero(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := finiteOrZero(bad); got != 0 {
+			t.Errorf("finiteOrZero(%v) = %v, want 0", bad, got)
+		}
+	}
+	if got := finiteOrZero(3.5); got != 3.5 {
+		t.Errorf("finiteOrZero(3.5) = %v", got)
+	}
+}
+
+func TestClusterMetricsSnapshot(t *testing.T) {
+	var cm ClusterMetrics
+	cm.Queries.Inc()
+	cm.Retries.Add(2)
+	cm.Failovers.Inc()
+	b := cm.Backend("127.0.0.1:7001")
+	b.Sessions.Inc()
+	b.FanoutNanos.Observe(1_000_000)
+	if cm.Backend("127.0.0.1:7001") != b {
+		t.Fatal("Backend not idempotent")
+	}
+
+	s := cm.Snapshot()
+	if s.Queries != 1 || s.Retries != 2 || s.Failovers != 1 {
+		t.Fatalf("counter snapshot wrong: %+v", s)
+	}
+	bs, ok := s.Backends["127.0.0.1:7001"]
+	if !ok || bs.Sessions != 1 || bs.FanoutNanos.Count != 1 {
+		t.Fatalf("backend snapshot wrong: %+v", s.Backends)
+	}
+	// The whole cluster document must JSON-encode even with empty
+	// histograms elsewhere.
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("cluster snapshot does not marshal: %v", err)
+	}
+}
+
+func TestClusterStatsHandler(t *testing.T) {
+	var sm ServerMetrics
+	var cm ClusterMetrics
+	cm.Failovers.Inc()
+	rec := httptest.NewRecorder()
+	ClusterStatsHandler(&sm, &cm).ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var doc struct {
+		Server  Snapshot        `json:"server"`
+		Cluster ClusterSnapshot `json:"cluster"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("stats not valid JSON: %v", err)
+	}
+	if doc.Cluster.Failovers != 1 {
+		t.Fatalf("failovers not visible in /stats: %+v", doc.Cluster)
 	}
 }

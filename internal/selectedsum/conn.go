@@ -95,7 +95,10 @@ func ServeTimed(conn *wire.Conn, table *database.Table, timings *PhaseTimings) e
 	if err != nil {
 		return fail(err)
 	}
-	srv, err := NewServerSession(pk, table, hello.VectorLen)
+	// A non-zero RowOffset scopes the session to a shard of a larger
+	// logical database: this table serves rows [RowOffset,
+	// RowOffset+VectorLen) and index chunks keep their global offsets.
+	srv, err := NewShardSession(pk, table.Column(), hello.VectorLen, hello.RowOffset)
 	if err != nil {
 		return fail(err)
 	}

@@ -99,7 +99,8 @@ type ServerSession struct {
 	values database.Column
 
 	acc  homomorphic.Ciphertext // nil until the first non-zero fold
-	next uint64                 // next expected vector offset
+	base uint64                 // global row offset of values[0] (shard sessions)
+	next uint64                 // next expected vector offset (global coordinates)
 	done bool
 }
 
@@ -118,6 +119,16 @@ func NewServerSession(pk homomorphic.PublicKey, table *database.Table, vectorLen
 // the stats layer folds the same encrypted index vector against the value
 // column and the square column to compute variances privately.
 func NewColumnSession(pk homomorphic.PublicKey, col database.Column, vectorLen uint64) (*ServerSession, error) {
+	return NewShardSession(pk, col, vectorLen, 0)
+}
+
+// NewShardSession is NewColumnSession for a shard of a larger logical
+// database: the column holds rows [rowOffset, rowOffset+vectorLen) of the
+// logical table, and incoming index chunks keep their global offsets — the
+// session translates. The cluster aggregator fans a client's chunks out to
+// shard sessions unmodified, which keeps the framing identical on every hop
+// and makes "the backend saw only its own row range" directly checkable.
+func NewShardSession(pk homomorphic.PublicKey, col database.Column, vectorLen, rowOffset uint64) (*ServerSession, error) {
 	if pk == nil {
 		return nil, errors.New("selectedsum: nil public key")
 	}
@@ -127,7 +138,7 @@ func NewColumnSession(pk homomorphic.PublicKey, col database.Column, vectorLen u
 	if vectorLen != uint64(col.Len()) {
 		return nil, fmt.Errorf("%w: client announces %d, table has %d rows", ErrVectorLength, vectorLen, col.Len())
 	}
-	return &ServerSession{pk: pk, values: col}, nil
+	return &ServerSession{pk: pk, values: col, base: rowOffset, next: rowOffset}, nil
 }
 
 // Absorb folds one index chunk. Chunks must arrive in order and without
@@ -142,8 +153,8 @@ func (s *ServerSession) Absorb(chunk *wire.IndexChunk) error {
 		return fmt.Errorf("%w: got offset %d, want %d", ErrChunkOutOfOrder, chunk.Offset, s.next)
 	}
 	count := chunk.Count()
-	if chunk.Offset+uint64(count) > uint64(s.values.Len()) {
-		return fmt.Errorf("%w: chunk [%d,%d) exceeds %d rows", ErrVectorLength, chunk.Offset, chunk.Offset+uint64(count), s.values.Len())
+	if chunk.Offset+uint64(count) > s.base+uint64(s.values.Len()) {
+		return fmt.Errorf("%w: chunk [%d,%d) exceeds rows [%d,%d)", ErrVectorLength, chunk.Offset, chunk.Offset+uint64(count), s.base, s.base+uint64(s.values.Len()))
 	}
 	scalar := new(big.Int)
 	for i := 0; i < count; i++ {
@@ -151,7 +162,7 @@ func (s *ServerSession) Absorb(chunk *wire.IndexChunk) error {
 		if err != nil {
 			return fmt.Errorf("selectedsum: chunk ciphertext %d: %w", i, err)
 		}
-		x := s.values.At(int(chunk.Offset) + i)
+		x := s.values.At(int(chunk.Offset-s.base) + i)
 		if x == 0 {
 			continue
 		}
@@ -190,8 +201,8 @@ func (s *ServerSession) AbsorbParallel(chunk *wire.IndexChunk, workers int) erro
 	if chunk.Offset != s.next {
 		return fmt.Errorf("%w: got offset %d, want %d", ErrChunkOutOfOrder, chunk.Offset, s.next)
 	}
-	if chunk.Offset+uint64(count) > uint64(s.values.Len()) {
-		return fmt.Errorf("%w: chunk [%d,%d) exceeds %d rows", ErrVectorLength, chunk.Offset, chunk.Offset+uint64(count), s.values.Len())
+	if chunk.Offset+uint64(count) > s.base+uint64(s.values.Len()) {
+		return fmt.Errorf("%w: chunk [%d,%d) exceeds rows [%d,%d)", ErrVectorLength, chunk.Offset, chunk.Offset+uint64(count), s.base, s.base+uint64(s.values.Len()))
 	}
 
 	partials := make([]homomorphic.Ciphertext, workers)
@@ -211,7 +222,7 @@ func (s *ServerSession) AbsorbParallel(chunk *wire.IndexChunk, workers int) erro
 					errs[w] = fmt.Errorf("selectedsum: chunk ciphertext %d: %w", i, err)
 					return
 				}
-				x := s.values.At(int(chunk.Offset) + i)
+				x := s.values.At(int(chunk.Offset-s.base) + i)
 				if x == 0 {
 					continue
 				}
@@ -259,7 +270,7 @@ func (s *ServerSession) AbsorbParallel(chunk *wire.IndexChunk, workers int) erro
 }
 
 // Absorbed reports how many vector positions have been folded.
-func (s *ServerSession) Absorbed() uint64 { return s.next }
+func (s *ServerSession) Absorbed() uint64 { return s.next - s.base }
 
 // Finalize checks the vector is complete and returns the rerandomized
 // encrypted sum. Optionally a blinding value can be added homomorphically —
@@ -269,8 +280,8 @@ func (s *ServerSession) Finalize(blind *big.Int) (homomorphic.Ciphertext, error)
 	if s.done {
 		return nil, errors.New("selectedsum: double finalize")
 	}
-	if s.next != uint64(s.values.Len()) {
-		return nil, fmt.Errorf("%w: folded %d of %d positions", ErrIncomplete, s.next, s.values.Len())
+	if s.next != s.base+uint64(s.values.Len()) {
+		return nil, fmt.Errorf("%w: folded %d of %d positions", ErrIncomplete, s.next-s.base, s.values.Len())
 	}
 	s.done = true
 

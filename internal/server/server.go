@@ -100,13 +100,41 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Server runs selected-sum sessions against one table. Create with New;
-// all methods are safe for concurrent use.
+// Handler answers one protocol session on a framed connection. The default
+// handler is the selected-sum fold over a table; the cluster aggregator
+// installs its fan-out session instead and inherits the whole runtime —
+// admission control, deadlines, panic isolation, graceful shutdown, /stats.
+//
+// timings is never nil; handlers fill in whatever phases they measure (a
+// handler observing a failed session still reports the phases that
+// completed).
+type Handler interface {
+	ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTimings) error
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(conn *wire.Conn, timings *selectedsum.PhaseTimings) error
+
+// ServeSession implements Handler.
+func (f HandlerFunc) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTimings) error {
+	return f(conn, timings)
+}
+
+// tableHandler is the stock selected-sum session over one table.
+type tableHandler struct{ table *database.Table }
+
+func (h tableHandler) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTimings) error {
+	return selectedsum.ServeTimed(conn, h.table, timings)
+}
+
+// Server runs protocol sessions behind admission control. Create with New
+// (table sessions) or NewHandler (any session handler); all methods are
+// safe for concurrent use.
 type Server struct {
-	table *database.Table
-	cfg   Config
-	m     *metrics.ServerMetrics
-	logf  func(format string, args ...any)
+	handler Handler
+	cfg     Config
+	m       *metrics.ServerMetrics
+	logf    func(format string, args ...any)
 
 	sem    chan struct{} // admission slots; len == active admitted sessions
 	served atomic.Int64  // finished sessions, for SessionLimit
@@ -122,11 +150,20 @@ type Server struct {
 	logOnce  sync.Once
 }
 
-// New builds a Server for table. The table is shared by all sessions and
-// must not be mutated while the server runs.
+// New builds a Server answering selected-sum sessions against table. The
+// table is shared by all sessions and must not be mutated while the server
+// runs.
 func New(table *database.Table, cfg Config) (*Server, error) {
 	if table == nil {
 		return nil, errors.New("server: nil table")
+	}
+	return NewHandler(tableHandler{table: table}, cfg)
+}
+
+// NewHandler builds a Server that runs each admitted session through h.
+func NewHandler(h Handler, cfg Config) (*Server, error) {
+	if h == nil {
+		return nil, errors.New("server: nil handler")
 	}
 	if cfg.MaxSessions < 0 {
 		return nil, fmt.Errorf("server: negative MaxSessions %d", cfg.MaxSessions)
@@ -146,7 +183,7 @@ func New(table *database.Table, cfg Config) (*Server, error) {
 		logf = log.Printf
 	}
 	return &Server{
-		table:     table,
+		handler:   h,
 		cfg:       cfg,
 		m:         m,
 		logf:      logf,
@@ -329,7 +366,7 @@ func (s *Server) serveSession(conn net.Conn) (err error) {
 	wc.SetWriteTimeout(s.cfg.WriteTimeout)
 
 	var phases selectedsum.PhaseTimings
-	err = selectedsum.ServeTimed(wc, s.table, &phases)
+	err = s.handler.ServeSession(wc, &phases)
 
 	s.m.HelloNanos.ObserveDuration(phases.Hello)
 	s.m.AbsorbNanos.ObserveDuration(phases.Absorb)

@@ -36,10 +36,15 @@ type MultiDBResult struct {
 }
 
 // MultiDatabaseSum privately sums the selected rows across the given
-// tables. sel covers the concatenation of all tables in order.
+// tables. sel covers the concatenation of all tables in order. chunkSize 0
+// sends each database its slice in a single chunk; negative values are
+// rejected.
 func MultiDatabaseSum(sk homomorphic.PrivateKey, tables []*database.Table, sel *database.Selection, chunkSize int) (*MultiDBResult, error) {
 	if sk == nil {
 		return nil, errors.New("spfe: nil private key")
+	}
+	if chunkSize < 0 {
+		return nil, fmt.Errorf("spfe: negative chunk size %d", chunkSize)
 	}
 	if len(tables) == 0 {
 		return nil, errors.New("spfe: no databases")

@@ -3,6 +3,7 @@ package spfe
 import (
 	"crypto/rand"
 	"math/big"
+	"strings"
 	"sync"
 	"testing"
 
@@ -306,5 +307,46 @@ func TestWeightsTotal(t *testing.T) {
 	}
 	if w.Len() != 3 || w.At(1).Int64() != 5 {
 		t.Errorf("accessors broken")
+	}
+}
+
+// Error paths required for the multi-database extension: each invalid
+// input must fail up front with a descriptive error, not mid-protocol.
+func TestMultiDatabaseSumErrorPaths(t *testing.T) {
+	sk := testKey(t)
+	table := database.New([]uint32{1, 2, 3})
+
+	// Mismatched selection length: both too short and too long.
+	for _, n := range []int{2, 4} {
+		sel, err := database.NewSelection(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = MultiDatabaseSum(sk, []*database.Table{table}, sel, 0)
+		if err == nil {
+			t.Fatalf("selection of %d over 3 rows accepted", n)
+		}
+		if !strings.Contains(err.Error(), "selection covers") {
+			t.Errorf("unhelpful mismatch error: %v", err)
+		}
+	}
+
+	sel, err := database.NewSelection(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty table list (empty slice, not just nil).
+	if _, err := MultiDatabaseSum(sk, []*database.Table{}, sel, 0); err == nil {
+		t.Error("empty table list accepted")
+	}
+
+	// Negative chunk size must be rejected before any crypto runs; zero
+	// stays the documented single-chunk convention.
+	if _, err := MultiDatabaseSum(sk, []*database.Table{table}, sel, -1); err == nil {
+		t.Error("negative chunk size accepted")
+	}
+	if _, err := MultiDatabaseSum(sk, []*database.Table{table}, sel, 0); err != nil {
+		t.Errorf("zero chunk size (single chunk) rejected: %v", err)
 	}
 }

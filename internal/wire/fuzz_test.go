@@ -46,9 +46,24 @@ func FuzzDecodeHello(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// Anything that decodes must re-encode byte-identically.
-		if !bytes.Equal(got.Encode(), data) {
-			t.Fatal("hello round trip not canonical")
+		// Anything that decodes must survive a semantic round trip. Byte
+		// identity only holds for the canonical (20-byte-trailer) form —
+		// a legacy 12-byte-trailer hello re-encodes with an explicit zero
+		// RowOffset — so compare decoded values, then check the canonical
+		// encoding is a fixed point.
+		enc := got.Encode()
+		again, err := DecodeHello(enc)
+		if err != nil {
+			t.Fatalf("re-encoded hello does not decode: %v", err)
+		}
+		if again.Version != got.Version || again.Scheme != got.Scheme ||
+			!bytes.Equal(again.PublicKey, got.PublicKey) ||
+			again.VectorLen != got.VectorLen || again.ChunkLen != got.ChunkLen ||
+			again.RowOffset != got.RowOffset {
+			t.Fatal("hello round trip not value-preserving")
+		}
+		if !bytes.Equal(again.Encode(), enc) {
+			t.Fatal("canonical hello encoding is not a fixed point")
 		}
 	})
 }

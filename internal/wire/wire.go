@@ -115,11 +115,18 @@ type Hello struct {
 	// ChunkLen is the number of ciphertexts per MsgIndexChunk (0 means a
 	// single chunk carrying the whole vector).
 	ChunkLen uint32
+	// RowOffset scopes the session to rows [RowOffset, RowOffset+VectorLen)
+	// of a larger logical database: index-chunk offsets stay in the global
+	// coordinate system and the server translates them by RowOffset. The
+	// cluster aggregator uses this to fan one logical query out to sharded
+	// backends without rewriting chunk framing. Zero (the single-server
+	// default) leaves offsets untranslated.
+	RowOffset uint64
 }
 
 // Encode serializes h.
 func (h *Hello) Encode() []byte {
-	b := make([]byte, 0, 4+4+len(h.Scheme)+4+len(h.PublicKey)+8+4)
+	b := make([]byte, 0, 4+4+len(h.Scheme)+4+len(h.PublicKey)+8+4+8)
 	b = binary.BigEndian.AppendUint32(b, h.Version)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(h.Scheme)))
 	b = append(b, h.Scheme...)
@@ -127,6 +134,7 @@ func (h *Hello) Encode() []byte {
 	b = append(b, h.PublicKey...)
 	b = binary.BigEndian.AppendUint64(b, h.VectorLen)
 	b = binary.BigEndian.AppendUint32(b, h.ChunkLen)
+	b = binary.BigEndian.AppendUint64(b, h.RowOffset)
 	return b
 }
 
@@ -155,11 +163,18 @@ func DecodeHello(b []byte) (*Hello, error) {
 	}
 	h.PublicKey = append([]byte(nil), b[:keyLen]...)
 	b = b[keyLen:]
-	if len(b) != 12 {
-		return nil, fmt.Errorf("%w: hello has %d trailing bytes, want 12", ErrBadMessage, len(b))
+	// Two accepted trailers: the original 12-byte form (vector length +
+	// chunk length) and the 20-byte shard-scoped form that appends
+	// RowOffset. Accepting both keeps pre-cluster clients interoperable —
+	// a missing row offset means "rows start at zero".
+	if len(b) != 12 && len(b) != 20 {
+		return nil, fmt.Errorf("%w: hello has %d trailing bytes, want 12 or 20", ErrBadMessage, len(b))
 	}
 	h.VectorLen = binary.BigEndian.Uint64(b)
 	h.ChunkLen = binary.BigEndian.Uint32(b[8:])
+	if len(b) == 20 {
+		h.RowOffset = binary.BigEndian.Uint64(b[12:])
+	}
 	return &h, nil
 }
 

@@ -283,3 +283,36 @@ func TestChunkWireSize(t *testing.T) {
 		t.Errorf("ChunkWireSize = %d, actual frame = %d", got, n)
 	}
 }
+
+func TestHelloRowOffsetRoundTrip(t *testing.T) {
+	h := &Hello{
+		Version:   Version,
+		Scheme:    "paillier",
+		PublicKey: []byte{7, 8, 9},
+		VectorLen: 2500,
+		ChunkLen:  100,
+		RowOffset: 5000,
+	}
+	got, err := DecodeHello(h.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RowOffset != h.RowOffset || got.VectorLen != h.VectorLen {
+		t.Errorf("got offset %d len %d, want %d %d", got.RowOffset, got.VectorLen, h.RowOffset, h.VectorLen)
+	}
+}
+
+// A pre-cluster hello (12-byte trailer, no RowOffset field) must still
+// decode, with the offset defaulting to zero.
+func TestDecodeHelloLegacyTrailer(t *testing.T) {
+	h := &Hello{Version: Version, Scheme: "paillier", PublicKey: []byte{1}, VectorLen: 42, ChunkLen: 7}
+	legacy := h.Encode()
+	legacy = legacy[:len(legacy)-8] // strip the RowOffset trailer
+	got, err := DecodeHello(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RowOffset != 0 || got.VectorLen != 42 || got.ChunkLen != 7 {
+		t.Errorf("legacy decode got %+v", got)
+	}
+}
