@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet check cluster-demo
+.PHONY: all build test race fmt vet check chaos fuzz-smoke cluster-demo
 
 all: build
 
@@ -30,6 +30,27 @@ vet:
 
 check: fmt vet build test race
 	@echo "check: all clean"
+
+# Chaos suite: the loopback cluster under seeded faultnet plans (resets,
+# corruption, stalled backends, mid-frame kills, dial refusals), under the
+# race detector, twice — the fault plans are seeded, so both runs must
+# inject and survive identically.
+chaos:
+	$(GO) test -race -run 'TestChaos' -count=2 ./internal/cluster/
+
+# Fuzz smoke: a short live-fuzz burst per target (the seed corpus alone runs
+# in `make test`). Go runs one fuzz target per invocation, hence the loop.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	@set -e; \
+	for t in FuzzReadFrame FuzzDecodeErrorPayload FuzzDecodeHello FuzzDecodeIndexChunk; do \
+		$(GO) test -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) ./internal/wire/; \
+	done; \
+	$(GO) test -fuzz='^FuzzParseShardMapSpec$$' -fuzztime=$(FUZZTIME) ./internal/cluster/; \
+	$(GO) test -fuzz='^FuzzReadTable$$' -fuzztime=$(FUZZTIME) ./internal/database/; \
+	for t in FuzzParseCiphertext FuzzPrivateKeyUnmarshal; do \
+		$(GO) test -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) ./internal/paillier/; \
+	done
 
 # Live sharded deployment on loopback: two sumserver shard backends behind
 # the sumproxy aggregator, queried by sumclient, checked against a direct

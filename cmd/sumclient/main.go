@@ -51,6 +51,8 @@ func main() {
 	timeout := flag.Duration("timeout", cluster.DefaultIOTimeout, "dial and per-frame IO deadline (0 = runtime default)")
 	retries := flag.Int("retries", cluster.DefaultRetries, "extra attempts after the first, spread across the -server list")
 	backoff := flag.Duration("backoff", cluster.DefaultBackoff, "base sleep before a retry, doubled each attempt and jittered")
+	dialHedge := flag.Duration("dial-hedge-after", 0, "launch a second dial if the first is still pending after this delay (0 = off)")
+	useCRC := flag.Bool("crc", false, "request CRC32 frame trailers (old servers degrade to plain frames)")
 	flag.Parse()
 
 	if *n <= 0 {
@@ -59,10 +61,12 @@ func main() {
 		os.Exit(2)
 	}
 	rt := cluster.ClientConfig{
-		DialTimeout: *timeout,
-		IOTimeout:   *timeout,
-		Retries:     *retries,
-		Backoff:     *backoff,
+		DialTimeout:    *timeout,
+		IOTimeout:      *timeout,
+		Retries:        *retries,
+		Backoff:        *backoff,
+		DialHedgeAfter: *dialHedge,
+		UseCRC:         *useCRC,
 	}
 	if err := run(*server, *n, *selectFrac, *indices, *seed, *keyPath, *keyBits, *chunk, *preprocess, *storePath, rt); err != nil {
 		log.Fatalf("sumclient: %v", err)

@@ -12,23 +12,27 @@
 // Client-facing sessions run through the same internal/server runtime as
 // sumserver (admission control, idle/session deadlines, graceful drain),
 // and the backend fan-out runs through the production client runtime
-// (pooling, retry with backoff, replica failover). Merged server+cluster
-// counters are served from http://<-stats-addr>/stats.
+// (pooling, retry with backoff, replica failover, optional hedged dials and
+// CRC-trailed frames). Merged server+cluster counters are served from
+// http://<-stats-addr>/stats.
 //
 // Usage:
 //
 //	sumproxy -listen :7000 -shards '0-5000=db1:7001;5000-10000=db2:7001'
-//	sumproxy -listen :7000 -shards '0-5000=db1:7001|db1b:7001;5000-10000=db2:7001' -retries 3
+//	sumproxy -listen :7000 -shards '0-5000=db1:7001|db1b:7001;5000-10000=db2:7001' -retries 3 -hedge-after 500ms
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,6 +45,42 @@ import (
 	_ "privstats/internal/crypto/elgamal"
 	_ "privstats/internal/paillier"
 )
+
+// errNoShards is the startup rejection for a missing/empty -shards flag.
+var errNoShards = errors.New("sumproxy: -shards is required (format: 'lo-hi=primary[|replica...];...')")
+
+// buildAggregator validates the shard spec and assembles the fan-out stack.
+// Duplicate or overlapping ranges, gaps, empty backend lists, and empty
+// specs all surface here as clear errors — before any socket is opened.
+func buildAggregator(shardsSpec string, ccfg cluster.ClientConfig, acfg cluster.AggregatorConfig) (*cluster.ShardMap, *cluster.Client, *cluster.Aggregator, error) {
+	if strings.TrimSpace(shardsSpec) == "" {
+		return nil, nil, nil, errNoShards
+	}
+	shards, err := cluster.ParseShardMap(shardsSpec)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("sumproxy: invalid -shards: %w", err)
+	}
+	client := cluster.NewClient(ccfg)
+	agg, err := cluster.NewAggregatorWithConfig(shards, client, acfg)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("sumproxy: %w", err)
+	}
+	return shards, client, agg, nil
+}
+
+// bindStats binds the metrics address up front, so a typo'd or already-bound
+// -stats-addr fails startup with a clear error instead of a log line from a
+// goroutine minutes later. Empty addr means the endpoint is off (nil, nil).
+func bindStats(addr string) (net.Listener, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sumproxy: cannot bind -stats-addr %s: %w", addr, err)
+	}
+	return ln, nil
+}
 
 func main() {
 	listen := flag.String("listen", ":7000", "address to accept client sessions on")
@@ -57,28 +97,30 @@ func main() {
 	backoff := flag.Duration("backoff", cluster.DefaultBackoff, "base sleep before a retry, doubled each attempt and jittered")
 	maxConns := flag.Int("max-conns", cluster.DefaultMaxConns, "max concurrent sessions per backend")
 	probeAfter := flag.Duration("probe-after", cluster.DefaultProbeAfter, "how long a failed backend is skipped before a probe attempt")
+	dialHedge := flag.Duration("dial-hedge-after", 0, "launch a second dial if the first is still pending after this delay (0 = off)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard fan-out deadline; a shard past it fails the query as shard-unavailable (0 = none)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "re-dispatch a straggling shard to its replica this long after upload completes (0 = off)")
+	useCRC := flag.Bool("crc", false, "request CRC32 frame trailers on backend sessions (old backends degrade to plain frames)")
 	flag.Parse()
 
-	if *shardsSpec == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
-	shards, err := cluster.ParseShardMap(*shardsSpec)
-	if err != nil {
-		log.Fatalf("sumproxy: %v", err)
-	}
-
-	client := cluster.NewClient(cluster.ClientConfig{
+	shards, client, agg, err := buildAggregator(*shardsSpec, cluster.ClientConfig{
 		DialTimeout:        *dialTimeout,
 		IOTimeout:          *ioTimeout,
 		Retries:            *retries,
 		Backoff:            *backoff,
 		MaxConnsPerBackend: *maxConns,
 		ProbeAfter:         *probeAfter,
+		DialHedgeAfter:     *dialHedge,
+		UseCRC:             *useCRC,
+	}, cluster.AggregatorConfig{
+		ShardTimeout: *shardTimeout,
+		HedgeAfter:   *hedgeAfter,
 	})
-	agg, err := cluster.NewAggregator(shards, client)
 	if err != nil {
-		log.Fatalf("sumproxy: %v", err)
+		if errors.Is(err, errNoShards) {
+			flag.Usage()
+		}
+		log.Fatal(err)
 	}
 	srv, err := server.NewHandler(agg, server.Config{
 		MaxSessions:    *maxSessions,
@@ -90,6 +132,11 @@ func main() {
 		log.Fatalf("sumproxy: %v", err)
 	}
 
+	statsLn, err := bindStats(*statsAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("sumproxy: listen: %v", err)
@@ -98,13 +145,13 @@ func main() {
 	log.Printf("shard map: %s", shards)
 
 	var stats *http.Server
-	if *statsAddr != "" {
+	if statsLn != nil {
 		mux := http.NewServeMux()
 		mux.Handle("/stats", metrics.ClusterStatsHandler(srv.Metrics(), client.Metrics()))
-		stats = &http.Server{Addr: *statsAddr, Handler: mux}
+		stats = &http.Server{Handler: mux}
 		go func() {
-			log.Printf("stats endpoint on http://%s/stats", *statsAddr)
-			if err := stats.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("stats endpoint on http://%s/stats", statsLn.Addr())
+			if err := stats.Serve(statsLn); err != nil && err != http.ErrServerClosed {
 				log.Printf("sumproxy: stats endpoint: %v", err)
 			}
 		}()

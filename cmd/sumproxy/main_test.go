@@ -1,0 +1,93 @@
+package main
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"privstats/internal/cluster"
+)
+
+func TestBuildAggregatorEmptySpec(t *testing.T) {
+	for _, spec := range []string{"", "   ", "\t"} {
+		_, _, _, err := buildAggregator(spec, cluster.ClientConfig{}, cluster.AggregatorConfig{})
+		if !errors.Is(err, errNoShards) {
+			t.Errorf("spec %q: err = %v, want errNoShards", spec, err)
+		}
+	}
+}
+
+func TestBuildAggregatorValid(t *testing.T) {
+	shards, client, agg, err := buildAggregator(
+		"0-500=a:1|b:1;500-1000=c:1",
+		cluster.ClientConfig{}, cluster.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards.Rows() != 1000 || shards.Len() != 2 {
+		t.Errorf("rows=%d len=%d", shards.Rows(), shards.Len())
+	}
+	if client == nil || agg == nil {
+		t.Error("nil client or aggregator")
+	}
+}
+
+func TestBuildAggregatorRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name, spec, wantSub string
+	}{
+		{"duplicate range", "0-500=a:1;0-500=b:1", "starts at row 0, want 500"},
+		{"overlap", "0-500=a:1;400-1000=b:1", "starts at row 400, want 500"},
+		{"gap", "0-500=a:1;600-1000=b:1", "starts at row 600, want 500"},
+		{"empty range", "0-0=a:1", "empty range"},
+		{"no backends", "0-500=", "no backends"},
+		{"garbage", "not-a-spec", "want lo-hi"},
+		{"bad number", "0-x=a:1", "invalid syntax"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, _, err := buildAggregator(tc.spec, cluster.ClientConfig{}, cluster.AggregatorConfig{})
+			if err == nil {
+				t.Fatalf("spec %q should fail", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("err = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestBindStatsOff(t *testing.T) {
+	ln, err := bindStats("")
+	if err != nil || ln != nil {
+		t.Fatalf("empty addr: ln=%v err=%v", ln, err)
+	}
+}
+
+func TestBindStatsUnreachable(t *testing.T) {
+	// A hostname that cannot resolve must fail at startup, not later.
+	if _, err := bindStats("no-such-host.invalid:0"); err == nil {
+		t.Fatal("bind on unresolvable host should fail")
+	}
+	// An already-bound port must also fail immediately.
+	taken, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer taken.Close()
+	if _, err := bindStats(taken.Addr().String()); err == nil {
+		t.Fatal("bind on taken port should fail")
+	}
+}
+
+func TestBindStatsOK(t *testing.T) {
+	ln, err := bindStats("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if ln.Addr().String() == "" {
+		t.Error("no bound address")
+	}
+}

@@ -18,6 +18,31 @@ import (
 // died; it is deliberately not retryable.
 var errAborted = errors.New("cluster: client session aborted")
 
+// ErrShardUnavailable is the classified partial-failure verdict: a shard
+// exhausted every candidate backend (or its deadline), so the whole query
+// fails. It is reported to the client as wire.CodeShardUnavailable and
+// NEVER as a partial sum — a sum over a subset of shards would both be
+// wrong and leak which rows were reachable, violating the privacy contract
+// (the client must learn exactly the selected total or nothing).
+var ErrShardUnavailable = errors.New("cluster: shard unavailable")
+
+// AggregatorConfig tunes the fan-out's failure policy. The zero value
+// disables both knobs (no per-shard deadline, no hedging).
+type AggregatorConfig struct {
+	// ShardTimeout bounds one shard's whole fan-out (dial through partial
+	// sum, across retries). A shard past its deadline is classified
+	// unavailable. Zero means no deadline beyond the client runtime's
+	// per-frame IO timeouts.
+	ShardTimeout time.Duration
+	// HedgeAfter, when positive and the shard has a replica, launches a
+	// second full shard session against the rotated backend list if the
+	// primary has not delivered a partial sum within HedgeAfter of the
+	// upload completing. First success wins; the loser is cancelled. This
+	// is straggler detection: a stalled-but-alive backend (slow-loris)
+	// never trips the dial or busy paths, only this one.
+	HedgeAfter time.Duration
+}
+
 // Aggregator answers one logical selected-sum session by fanning the
 // client's encrypted index vector out to sharded backends and combining
 // their encrypted partial sums. It implements server.Handler, so it hosts
@@ -31,19 +56,25 @@ var errAborted = errors.New("cluster: client session aborted")
 type Aggregator struct {
 	shards *ShardMap
 	client *Client
+	cfg    AggregatorConfig
 	m      *metrics.ClusterMetrics
 }
 
 // NewAggregator builds an aggregator over the shard map, fanning out
 // through client (which owns the retry/failover policy and the metrics).
 func NewAggregator(shards *ShardMap, client *Client) (*Aggregator, error) {
+	return NewAggregatorWithConfig(shards, client, AggregatorConfig{})
+}
+
+// NewAggregatorWithConfig is NewAggregator with the failure policy knobs.
+func NewAggregatorWithConfig(shards *ShardMap, client *Client, cfg AggregatorConfig) (*Aggregator, error) {
 	if shards == nil {
 		return nil, errors.New("cluster: nil shard map")
 	}
 	if client == nil {
 		return nil, errors.New("cluster: nil client")
 	}
-	return &Aggregator{shards: shards, client: client, m: client.Metrics()}, nil
+	return &Aggregator{shards: shards, client: client, cfg: cfg, m: client.Metrics()}, nil
 }
 
 var _ server.Handler = (*Aggregator)(nil)
@@ -65,10 +96,13 @@ type shardBuffer struct {
 	chunks []shardChunk
 	closed bool
 	abort  error
+	// done is closed when the upload completes — the hedge timer's start
+	// signal (hedging before the buffer is replayable would be wasted work).
+	done chan struct{}
 }
 
 func newShardBuffer() *shardBuffer {
-	b := &shardBuffer{}
+	b := &shardBuffer{done: make(chan struct{})}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -83,8 +117,12 @@ func (b *shardBuffer) append(c shardChunk) {
 // close marks the upload complete (the client sent MsgDone).
 func (b *shardBuffer) close() {
 	b.mu.Lock()
+	already := b.closed
 	b.closed = true
 	b.mu.Unlock()
+	if !already {
+		close(b.done)
+	}
 	b.cond.Broadcast()
 }
 
@@ -129,12 +167,18 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 
 	// fail mirrors selectedsum.ServeTimed's error path: report to the
 	// possibly-still-uploading client while draining its frames, so the
-	// explanation survives instead of being destroyed by a RST.
+	// explanation survives instead of being destroyed by a RST. The report
+	// carries the classified code so the client's retry policy can react
+	// without parsing prose.
 	fail := func(err error) error {
+		code := wire.ErrorCodeFor(err)
+		if errors.Is(err, ErrShardUnavailable) {
+			code = wire.CodeShardUnavailable
+		}
 		sent := make(chan struct{})
 		go func() {
 			defer close(sent)
-			_ = conn.SendError(err.Error())
+			_ = conn.SendErrorCode(code, err.Error())
 		}()
 		go func() {
 			for {
@@ -162,6 +206,11 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 	}
 	if hello.Version != wire.Version {
 		return fail(fmt.Errorf("cluster: unsupported protocol version %d", hello.Version))
+	}
+	if hello.Flags&wire.HelloFlagFrameCRC != 0 {
+		// Mirror the client's CRC opt-in on our replies; inbound frames
+		// carry self-describing trailers and are verified regardless.
+		conn.EnableCRC()
 	}
 	if hello.RowOffset != 0 {
 		return fail(fmt.Errorf("cluster: aggregator serves the whole logical database, got row offset %d", hello.RowOffset))
@@ -202,6 +251,17 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 	}
 	timings.Hello = time.Since(helloStart)
 
+	// shardErr labels and classifies a worker failure: an exhausted
+	// candidate list or a blown shard deadline means the shard (not the
+	// query) is the problem, and the client hears shard-unavailable.
+	shardErr := func(i int, err error) error {
+		var ex *ExhaustedError
+		if errors.As(err, &ex) || errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("%w: %v", ErrShardUnavailable, err)
+		}
+		return fmt.Errorf("cluster: shard %d [%d,%d): %w", i, shards[i].Lo, shards[i].Hi, err)
+	}
+
 	// failed drains a worker failure noticed mid-upload without blocking.
 	pending := len(shards)
 	partials := make([]homomorphic.Ciphertext, len(shards))
@@ -211,7 +271,7 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 			case r := <-results:
 				pending--
 				if r.err != nil {
-					return fmt.Errorf("cluster: shard %d [%d,%d): %w", r.i, shards[r.i].Lo, shards[r.i].Hi, r.err)
+					return shardErr(r.i, r.err)
 				}
 				partials[r.i] = r.ct
 			default:
@@ -228,6 +288,13 @@ recvLoop:
 		if err != nil {
 			abortWorkers(errAborted)
 			return fmt.Errorf("cluster: reading chunk: %w", err)
+		}
+		// Post-negotiation, every client frame is CRC-trailed; a plain one
+		// is a corrupted header and gets the (retryable) corruption
+		// verdict rather than a protocol rejection.
+		if conn.CRCEnabled() && !f.CRC {
+			abortWorkers(errAborted)
+			return fail(fmt.Errorf("cluster: plain frame type %#x in a CRC session: %w", byte(f.Type), wire.ErrFrameCorrupt))
 		}
 		switch f.Type {
 		case wire.MsgIndexChunk:
@@ -291,7 +358,7 @@ recvLoop:
 		r := <-results
 		pending--
 		if r.err != nil && workerErr == nil {
-			workerErr = fmt.Errorf("cluster: shard %d [%d,%d): %w", r.i, shards[r.i].Lo, shards[r.i].Hi, r.err)
+			workerErr = shardErr(r.i, r.err)
 			abortWorkers(errAborted)
 		}
 		if r.err == nil {
@@ -326,14 +393,98 @@ recvLoop:
 	return nil
 }
 
-// queryShard runs one shard's fan-out with the client runtime's retry and
-// failover policy. The attempt function replays the shard buffer from the
-// start; on the first attempt the buffer is still filling, so the replay
-// degenerates into streaming through — pipelined with the client upload.
+// queryShard runs one shard's fan-out: per-shard deadline, the client
+// runtime's retry/failover inside each dispatch, and — when configured and
+// a replica exists — a hedged re-dispatch against the rotated backend list
+// if the primary is still silent HedgeAfter past upload completion. The
+// shard buffer retains everything and hands out chunks by index, so two
+// dispatches can replay it concurrently.
 func (a *Aggregator) queryShard(ctx context.Context, s Shard, clientHello *wire.Hello, pk homomorphic.PublicKey, buf *shardBuffer) (homomorphic.Ciphertext, string, error) {
+	if a.cfg.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, a.cfg.ShardTimeout)
+		defer cancel()
+	}
+	if a.cfg.HedgeAfter <= 0 || len(s.Backends) < 2 {
+		return a.dispatchShard(ctx, s, s.Backends, clientHello, pk, buf)
+	}
+
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
+	type outcome struct {
+		ct    homomorphic.Ciphertext
+		addr  string
+		err   error
+		hedge bool
+	}
+	outc := make(chan outcome, 2)
+	launch := func(backends []string, hedge bool) {
+		ct, addr, err := a.dispatchShard(rctx, s, backends, clientHello, pk, buf)
+		outc <- outcome{ct, addr, err, hedge}
+	}
+	go launch(s.Backends, false)
+
+	// The hedge clock starts when the upload completes: before that the
+	// primary is throughput-bound on the client, and a hedge would just
+	// double the fan-out bytes for nothing.
+	hedgec := make(chan struct{}, 1)
+	go func() {
+		select {
+		case <-buf.done:
+		case <-rctx.Done():
+			return
+		}
+		t := time.NewTimer(a.cfg.HedgeAfter)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			hedgec <- struct{}{}
+		case <-rctx.Done():
+		}
+	}()
+
+	rotated := append(append([]string{}, s.Backends[1:]...), s.Backends[0])
+	launched, received := 1, 0
+	var lastErr error
+	for {
+		select {
+		case o := <-outc:
+			received++
+			if o.err == nil {
+				if o.hedge {
+					a.m.ShardHedgeWins.Inc()
+				}
+				rcancel()
+				if launched > received {
+					go func(n int) { // drain the loser so launch never blocks
+						for i := 0; i < n; i++ {
+							<-outc
+						}
+					}(launched - received)
+				}
+				return o.ct, o.addr, nil
+			}
+			lastErr = o.err
+			if received == launched {
+				return nil, "", lastErr
+			}
+		case <-hedgec:
+			a.m.ShardHedges.Inc()
+			launched++
+			go launch(rotated, true)
+		}
+	}
+}
+
+// dispatchShard is one full shard session with the client runtime's retry
+// and failover policy. The attempt function replays the shard buffer from
+// the start; on the first attempt the buffer is still filling, so the
+// replay degenerates into streaming through — pipelined with the client
+// upload.
+func (a *Aggregator) dispatchShard(ctx context.Context, s Shard, backends []string, clientHello *wire.Hello, pk homomorphic.PublicKey, buf *shardBuffer) (homomorphic.Ciphertext, string, error) {
 	width := pk.CiphertextSize()
 	var partial homomorphic.Ciphertext
-	addr, err := a.client.Do(ctx, s.Backends, func(sess *Session) error {
+	addr, err := a.client.Do(ctx, backends, func(sess *Session) error {
 		hello := wire.Hello{
 			Version:   wire.Version,
 			Scheme:    clientHello.Scheme,
@@ -341,6 +492,12 @@ func (a *Aggregator) queryShard(ctx context.Context, s Shard, clientHello *wire.
 			VectorLen: uint64(s.Rows()),
 			ChunkLen:  clientHello.ChunkLen,
 			RowOffset: uint64(s.Lo),
+		}
+		if sess.Conn.CRCEnabled() {
+			// Ask the backend to trail its partial sum with a CRC too:
+			// without this the reply direction is unprotected and a
+			// flipped ciphertext byte would silently poison the total.
+			hello.Flags |= wire.HelloFlagFrameCRC
 		}
 		if err := sess.Conn.Send(wire.MsgHello, hello.Encode()); err != nil {
 			return err
@@ -366,6 +523,10 @@ func (a *Aggregator) queryShard(ctx context.Context, s Shard, clientHello *wire.
 					return fmt.Errorf("cluster: reading early backend reply: %w", r.err)
 				case r.f.Type == wire.MsgError:
 					return wire.DecodeError(r.f.Payload)
+				case sess.Conn.CRCEnabled() && !r.f.CRC:
+					// A plain frame of impossible type in a CRC session
+					// is a corrupted header: retryable, not protocol.
+					return fmt.Errorf("cluster: plain frame type %#x in a CRC session: %w", byte(r.f.Type), wire.ErrFrameCorrupt)
 				default:
 					return fmt.Errorf("cluster: unexpected backend message %#x mid-upload", byte(r.f.Type))
 				}
@@ -408,6 +569,9 @@ func (a *Aggregator) queryShard(ctx context.Context, s Shard, clientHello *wire.
 		case wire.MsgError:
 			return wire.DecodeError(r.f.Payload)
 		default:
+			if sess.Conn.CRCEnabled() && !r.f.CRC {
+				return fmt.Errorf("cluster: plain frame type %#x in a CRC session: %w", byte(r.f.Type), wire.ErrFrameCorrupt)
+			}
 			return fmt.Errorf("cluster: expected partial sum, got message type %#x", byte(r.f.Type))
 		}
 	})

@@ -57,6 +57,20 @@ type ClientConfig struct {
 	// attempt is let through as a probe; the penalty doubles (capped at
 	// 16× ProbeAfter) while probes keep failing.
 	ProbeAfter time.Duration
+	// DialHedgeAfter, when positive, launches a second dial to the same
+	// address if the first has not connected within this delay; the first
+	// connection to complete wins and the loser is closed. It bounds the
+	// tail a half-open SYN blackhole adds to the attempt, without burning a
+	// retry.
+	DialHedgeAfter time.Duration
+	// Dial overrides the transport dialer — the seam internal/faultnet (and
+	// any proxy-aware deployment) plugs into. Nil uses net.Dialer with
+	// DialTimeout.
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
+	// UseCRC requests CRC32 frame trailers from backends that understand
+	// the HelloFlagFrameCRC negotiation. Old servers ignore the flag and
+	// the session degrades to plain frames.
+	UseCRC bool
 	// Metrics receives retry/failover counters and per-backend fan-out
 	// histograms; nil allocates a private set.
 	Metrics *metrics.ClusterMetrics
@@ -230,6 +244,74 @@ func (c *Client) pick(backends []string) string {
 	return best
 }
 
+// rawDial resolves the configured dialer.
+func (c *Client) rawDial(ctx context.Context, addr string) (net.Conn, error) {
+	if c.cfg.Dial != nil {
+		return c.cfg.Dial(ctx, "tcp", addr)
+	}
+	d := net.Dialer{Timeout: c.cfg.DialTimeout}
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// hedgedDial connects to addr, optionally racing a second dial launched
+// DialHedgeAfter into the first. First connection wins; the loser (if it
+// ever completes) is closed.
+func (c *Client) hedgedDial(ctx context.Context, addr string) (net.Conn, error) {
+	if c.cfg.DialHedgeAfter <= 0 {
+		return c.rawDial(ctx, addr)
+	}
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type res struct {
+		conn net.Conn
+		err  error
+	}
+	// Cap 2: at most the primary and one hedge, so sends never block and
+	// the reaper below can drain stragglers after a winner is picked.
+	results := make(chan res, 2)
+	launch := func() {
+		conn, err := c.rawDial(dctx, addr)
+		results <- res{conn, err}
+	}
+	reap := func(n int) {
+		for i := 0; i < n; i++ {
+			if r := <-results; r.conn != nil {
+				r.conn.Close()
+			}
+		}
+	}
+	go launch()
+	timer := time.NewTimer(c.cfg.DialHedgeAfter)
+	defer timer.Stop()
+	launched, received := 1, 0
+	var lastErr error
+	for {
+		select {
+		case r := <-results:
+			received++
+			if r.err == nil {
+				if launched > received {
+					go reap(launched - received)
+				}
+				return r.conn, nil
+			}
+			lastErr = r.err
+			if received == launched {
+				return nil, lastErr
+			}
+		case <-timer.C:
+			c.m.HedgedDials.Inc()
+			launched++
+			go launch()
+		case <-dctx.Done():
+			if launched > received {
+				go reap(launched - received)
+			}
+			return nil, dctx.Err()
+		}
+	}
+}
+
 // dial opens a framed session to addr with deadlines armed. It consumes a
 // connection slot; Close the session to release it.
 func (c *Client) dial(ctx context.Context, addr string) (*Session, error) {
@@ -237,8 +319,7 @@ func (c *Client) dial(ctx context.Context, addr string) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := net.Dialer{Timeout: c.cfg.DialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	conn, err := c.hedgedDial(ctx, addr)
 	if err != nil {
 		release()
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
@@ -246,6 +327,9 @@ func (c *Client) dial(ctx context.Context, addr string) (*Session, error) {
 	wc := wire.NewConn(conn)
 	wc.SetIdleTimeout(c.cfg.IOTimeout)
 	wc.SetWriteTimeout(c.cfg.IOTimeout)
+	if c.cfg.UseCRC {
+		wc.EnableCRC()
+	}
 	return &Session{Addr: addr, Conn: wc, raw: conn, release: release}, nil
 }
 
@@ -269,14 +353,26 @@ func (s *Session) Close() {
 }
 
 // IsBusy reports whether err is a server admission-control busy rejection
-// — worth retrying elsewhere (or later), unlike a protocol error.
+// — worth retrying elsewhere (or later), unlike a protocol error. New
+// servers classify the rejection with wire.CodeBusy; the string check keeps
+// pre-code peers working.
 func IsBusy(err error) bool {
-	return err != nil && strings.Contains(err.Error(), "busy")
+	if err == nil {
+		return false
+	}
+	if wire.ErrorCodeOf(err) == wire.CodeBusy {
+		return true
+	}
+	return strings.Contains(err.Error(), "busy")
 }
 
 // retryable classifies errors worth another attempt: connection-level
-// failures, timeouts, and busy rejections. Protocol-level rejections (bad
-// vector length, unknown scheme, ...) are deterministic and fail fast.
+// failures, timeouts, busy rejections, and — critically for the chaos
+// model — frame corruption (a flipped byte on one attempt says nothing
+// about the next) and short writes. Protocol-level rejections (bad vector
+// length, unknown scheme, ...) are deterministic and fail fast, as is a
+// peer-reported shard-unavailable: the backend already exhausted its own
+// candidates, so hammering it from here only stacks retry pyramids.
 func retryable(err error) bool {
 	if err == nil {
 		return false
@@ -284,12 +380,47 @@ func retryable(err error) bool {
 	if IsBusy(err) || wire.IsTimeout(err) {
 		return true
 	}
+	if errors.Is(err, wire.ErrFrameCorrupt) || errors.Is(err, io.ErrShortWrite) {
+		return true
+	}
+	// A declared length past the frame ceiling mid-session is a corrupted
+	// (or hostile) header, not a deterministic peer decision: the next
+	// attempt's stream is independent, so it gets the corruption verdict.
+	if errors.Is(err, wire.ErrFrameTooLarge) {
+		return true
+	}
+	switch wire.ErrorCodeOf(err) {
+	case wire.CodeTimeout, wire.CodeCorruptFrame:
+		return true
+	case wire.CodeShardUnavailable:
+		return false
+	}
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
 		return true
 	}
 	var ne *net.OpError
 	return errors.As(err, &ne)
 }
+
+// isCorruption reports frame-level corruption, locally detected or
+// peer-reported.
+func isCorruption(err error) bool {
+	return errors.Is(err, wire.ErrFrameCorrupt) || wire.ErrorCodeOf(err) == wire.CodeCorruptFrame
+}
+
+// ExhaustedError is returned by Do when every attempt failed: the caller
+// (the aggregator's shard fan-out) uses it to classify the shard as
+// unavailable rather than the query as malformed.
+type ExhaustedError struct {
+	Attempts int
+	Last     error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("cluster: all %d attempts failed: %v", e.Attempts, e.Last)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Last }
 
 // backoff returns the jittered sleep before retry attempt k (k = 1 for the
 // first retry): Backoff·2^(k-1), capped at MaxBackoff, jittered ±50% so a
@@ -349,7 +480,7 @@ func (c *Client) Do(ctx context.Context, backends []string, fn func(s *Session) 
 		}
 	}
 	c.m.ShardFailures.Inc()
-	return "", fmt.Errorf("cluster: all %d attempts failed: %w", attempts, lastErr)
+	return "", &ExhaustedError{Attempts: attempts, Last: lastErr}
 }
 
 // attempt runs one dial + fn cycle against addr with metrics and health
@@ -367,6 +498,9 @@ func (c *Client) attempt(ctx context.Context, addr string, fn func(s *Session) e
 		bm.Errors.Inc()
 		if IsBusy(err) {
 			bm.Busy.Inc()
+		}
+		if isCorruption(err) {
+			c.m.CorruptFrames.Inc()
 		}
 		c.noteFailure(addr)
 		return err

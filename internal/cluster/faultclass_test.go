@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"privstats/internal/faultnet"
+	"privstats/internal/wire"
+)
+
+// TestFaultKindClassification is the contract between faultnet's fault
+// vocabulary and the client's retry policy: for every fault kind the
+// injector can produce, the error it surfaces in the client must carry the
+// intended verdict — transient faults retry (with backoff), deterministic
+// rejections fail fast.
+func TestFaultKindClassification(t *testing.T) {
+	cases := []struct {
+		kind      string
+		err       error
+		retryable bool
+	}{
+		// Reset (local RST): exactly what faultnet's reset fault returns.
+		{"reset", &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}, true},
+		// Dial refusal: faultnet.Dialer's synthesized ECONNREFUSED.
+		{"refusal", &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}, true},
+		// Stall past the IO deadline: surfaces as a net timeout.
+		{"stall-timeout", &net.OpError{Op: "read", Net: "tcp", Err: timeoutErr{}}, true},
+		// Peer-reported timeout (server idle deadline fired first).
+		{"stall-peer-timeout", &wire.PeerError{Code: wire.CodeTimeout, Msg: "session timed out"}, true},
+		// Corruption detected locally by the CRC check.
+		{"corrupt-local", fmt.Errorf("recv: %w", wire.ErrFrameCorrupt), true},
+		// Corruption detected by the peer and reported back.
+		{"corrupt-peer", &wire.PeerError{Code: wire.CodeCorruptFrame, Msg: "frame corrupt"}, true},
+		// A corrupted length field declares an absurd frame size.
+		{"corrupt-length", fmt.Errorf("recv: %w", wire.ErrFrameTooLarge), true},
+		// A corrupted type byte makes a CRC frame look plain; the peer
+		// classifies it as corruption on the wire.
+		{"corrupt-type-byte", fmt.Errorf("plain frame type 0x27 in a CRC session: %w", wire.ErrFrameCorrupt), true},
+		// Short write from the fault injector.
+		{"short-write", fmt.Errorf("send: %w", io.ErrShortWrite), true},
+		// Mid-frame kill: the reader sees a truncated frame.
+		{"kill-truncated", fmt.Errorf("reading frame: %w", io.ErrUnexpectedEOF), true},
+		// Clean hangup (refused-after-accept looks like this client-side).
+		{"hangup-eof", io.EOF, true},
+		// Busy rejection, coded and legacy.
+		{"busy-coded", &wire.PeerError{Code: wire.CodeBusy, Msg: "server busy"}, true},
+		{"busy-legacy", errors.New("server busy: all session slots in use"), true},
+		// Deterministic protocol rejections must NOT burn retries.
+		{"protocol-coded", &wire.PeerError{Code: wire.CodeProtocol, Msg: "bad vector length"}, false},
+		{"protocol-legacy", &wire.PeerError{Msg: "unknown scheme"}, false},
+		// A relayed shard-unavailable already exhausted the far side's
+		// candidates; hammering it again from here is amplification.
+		{"shard-unavailable", &wire.PeerError{Code: wire.CodeShardUnavailable, Msg: "shard 1 dark"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind, func(t *testing.T) {
+			if got := retryable(tc.err); got != tc.retryable {
+				t.Errorf("retryable(%v) = %v, want %v", tc.err, got, tc.retryable)
+			}
+			// Wrapping (as Do and the protocol layers do) must not change
+			// the verdict.
+			wrapped := fmt.Errorf("backend 127.0.0.1:1: %w", tc.err)
+			if got := retryable(wrapped); got != tc.retryable {
+				t.Errorf("retryable(wrapped %v) = %v, want %v", tc.err, got, tc.retryable)
+			}
+		})
+	}
+}
+
+// timeoutErr implements net.Error's timeout contract.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+// TestFaultVerdictDrivesBackoff checks the behavioral half of the
+// contract: a retryable fault consumes retries WITH backoff sleeps between
+// attempts, while a fatal fault returns after one attempt and zero sleeps.
+func TestFaultVerdictDrivesBackoff(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) { io.Copy(io.Discard, conn); conn.Close() }(conn)
+		}
+	}()
+	addr := ln.Addr().String()
+
+	run := func(injected error) (attempts, sleeps int) {
+		c := NewClient(ClientConfig{Retries: 2, Backoff: time.Millisecond, ProbeAfter: time.Nanosecond})
+		c.sleep = func(context.Context, time.Duration) error { sleeps++; return nil }
+		_, _ = c.Do(context.Background(), []string{addr}, func(s *Session) error {
+			attempts++
+			return injected
+		})
+		return
+	}
+
+	if attempts, sleeps := run(&net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}); attempts != 3 || sleeps != 2 {
+		t.Errorf("reset: %d attempts, %d sleeps; want 3 attempts with 2 backoff sleeps", attempts, sleeps)
+	}
+	if attempts, sleeps := run(fmt.Errorf("recv: %w", wire.ErrFrameCorrupt)); attempts != 3 || sleeps != 2 {
+		t.Errorf("corrupt: %d attempts, %d sleeps; want 3 attempts with 2 backoff sleeps", attempts, sleeps)
+	}
+	if attempts, sleeps := run(&wire.PeerError{Code: wire.CodeProtocol, Msg: "bad length"}); attempts != 1 || sleeps != 0 {
+		t.Errorf("protocol: %d attempts, %d sleeps; want fail-fast (1 attempt, 0 sleeps)", attempts, sleeps)
+	}
+	if attempts, sleeps := run(&wire.PeerError{Code: wire.CodeShardUnavailable, Msg: "dark"}); attempts != 1 || sleeps != 0 {
+		t.Errorf("shard-unavailable: %d attempts, %d sleeps; want fail-fast", attempts, sleeps)
+	}
+}
+
+// TestDialRefusalsRetryThroughFaultnet wires a faultnet.Dialer into the
+// client and confirms an injected dial refusal is retried end to end (not
+// just classified in the abstract).
+func TestDialRefusalsRetryThroughFaultnet(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) { io.Copy(io.Discard, conn); conn.Close() }(conn)
+		}
+	}()
+
+	// Refuse=1 with a dialer whose stats we watch: every dial is refused,
+	// so Do must burn every attempt on ECONNREFUSED and report exhaustion.
+	d := &faultnet.Dialer{Plan: faultnet.Plan{Seed: 5, Refuse: 1}}
+	c := NewClient(ClientConfig{Retries: 2, Backoff: time.Millisecond, Dial: d.DialContext})
+	c.sleep = noSleep
+	_, err = c.Do(context.Background(), []string{ln.Addr().String()}, func(s *Session) error {
+		t.Error("fn ran despite refused dial")
+		return nil
+	})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want ExhaustedError", err)
+	}
+	if ex.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", ex.Attempts)
+	}
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Errorf("cause lost: %v", err)
+	}
+	if s := d.Stats(); s.Refusals != 3 {
+		t.Errorf("dialer refusals = %d, want 3 (one per attempt)", s.Refusals)
+	}
+}
+
+// TestExhaustedErrorShape: Do's terminal error exposes attempts and cause.
+func TestExhaustedErrorShape(t *testing.T) {
+	inner := io.EOF
+	ex := &ExhaustedError{Attempts: 4, Last: fmt.Errorf("backend x: %w", inner)}
+	if !errors.Is(ex, io.EOF) {
+		t.Error("Unwrap chain broken")
+	}
+	if msg := ex.Error(); msg == "" {
+		t.Error("empty message")
+	}
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// FuzzParseShardMapSpec fuzzes the sumproxy -shards parser: arbitrary input
+// must never panic, and any spec that parses must round-trip through
+// String() to an equivalent map (parse → String → parse is identity).
+func FuzzParseShardMapSpec(f *testing.F) {
+	f.Add("0-5000=db1:7001;5000-10000=db2:7001")
+	f.Add("0-5000=db1:7001|db1b:7001;5000-10000=db2:7001")
+	f.Add("0-1=a")
+	f.Add("")
+	f.Add(";;;")
+	f.Add("0-0=a")
+	f.Add("5-0=a")
+	f.Add("0-5=a;3-9=b")
+	f.Add("-1-5=a")
+	f.Add("0-99999999999999999999=a")
+	f.Add("0-5=|||")
+	f.Add("0-5=a=b")
+	f.Add("0-5= a ; 5-9= b ")
+	f.Fuzz(func(t *testing.T, spec string) {
+		m, err := ParseShardMap(spec)
+		if err != nil {
+			return
+		}
+		// Structural invariants of anything that parsed.
+		if m.Rows() <= 0 || m.Len() <= 0 {
+			t.Fatalf("parsed map has rows=%d len=%d", m.Rows(), m.Len())
+		}
+		next := 0
+		for i, s := range m.Shards() {
+			if s.Lo != next || s.Hi <= s.Lo || len(s.Backends) == 0 {
+				t.Fatalf("shard %d = %+v violates tiling", i, s)
+			}
+			next = s.Hi
+		}
+		// Round trip: parse(String(m)) must reproduce m exactly.
+		again, err := ParseShardMap(m.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", m.String(), err)
+		}
+		if again.Rows() != m.Rows() || again.Len() != m.Len() {
+			t.Fatalf("round trip changed shape: %q vs %q", m.String(), again.String())
+		}
+		for i := range m.Shards() {
+			a, b := m.Shards()[i], again.Shards()[i]
+			if a.Lo != b.Lo || a.Hi != b.Hi || len(a.Backends) != len(b.Backends) {
+				t.Fatalf("shard %d changed: %+v vs %+v", i, a, b)
+			}
+			for j := range a.Backends {
+				if a.Backends[j] != b.Backends[j] {
+					t.Fatalf("shard %d backend %d changed: %q vs %q", i, j, a.Backends[j], b.Backends[j])
+				}
+			}
+		}
+		if m.String() != again.String() {
+			t.Fatalf("String not a fixed point: %q vs %q", m.String(), again.String())
+		}
+	})
+}

@@ -44,6 +44,18 @@ type ClusterMetrics struct {
 	// ShardFailures counts shards that exhausted every candidate backend —
 	// each one failed a client query.
 	ShardFailures Counter
+	// HedgedDials counts secondary dials launched because the primary dial
+	// was still pending after the hedge delay.
+	HedgedDials Counter
+	// ShardHedges counts hedged shard re-dispatches launched by the
+	// aggregator after a straggling backend crossed its hedge threshold.
+	ShardHedges Counter
+	// ShardHedgeWins counts the subset of ShardHedges where the hedge (not
+	// the original) delivered the partial sum.
+	ShardHedgeWins Counter
+	// CorruptFrames counts frame-level CRC failures observed (locally
+	// detected or reported by the peer as a corrupt-frame error code).
+	CorruptFrames Counter
 	// CombineNanos is the aggregator's homomorphic combine + rerandomize
 	// phase.
 	CombineNanos Histogram
@@ -77,23 +89,31 @@ type BackendSnapshot struct {
 
 // ClusterSnapshot is the JSON form of the cluster metrics.
 type ClusterSnapshot struct {
-	Queries       int64                      `json:"queries"`
-	Retries       int64                      `json:"retries"`
-	Failovers     int64                      `json:"failovers"`
-	ShardFailures int64                      `json:"shard_failures"`
-	CombineNanos  HistogramSnapshot          `json:"combine_nanos"`
-	Backends      map[string]BackendSnapshot `json:"backends"`
+	Queries        int64                      `json:"queries"`
+	Retries        int64                      `json:"retries"`
+	Failovers      int64                      `json:"failovers"`
+	ShardFailures  int64                      `json:"shard_failures"`
+	HedgedDials    int64                      `json:"hedged_dials"`
+	ShardHedges    int64                      `json:"shard_hedges"`
+	ShardHedgeWins int64                      `json:"shard_hedge_wins"`
+	CorruptFrames  int64                      `json:"corrupt_frames"`
+	CombineNanos   HistogramSnapshot          `json:"combine_nanos"`
+	Backends       map[string]BackendSnapshot `json:"backends"`
 }
 
 // Snapshot captures the current state of every cluster metric.
 func (m *ClusterMetrics) Snapshot() ClusterSnapshot {
 	s := ClusterSnapshot{
-		Queries:       m.Queries.Value(),
-		Retries:       m.Retries.Value(),
-		Failovers:     m.Failovers.Value(),
-		ShardFailures: m.ShardFailures.Value(),
-		CombineNanos:  m.CombineNanos.Snapshot(),
-		Backends:      make(map[string]BackendSnapshot),
+		Queries:        m.Queries.Value(),
+		Retries:        m.Retries.Value(),
+		Failovers:      m.Failovers.Value(),
+		ShardFailures:  m.ShardFailures.Value(),
+		HedgedDials:    m.HedgedDials.Value(),
+		ShardHedges:    m.ShardHedges.Value(),
+		ShardHedgeWins: m.ShardHedgeWins.Value(),
+		CorruptFrames:  m.CorruptFrames.Value(),
+		CombineNanos:   m.CombineNanos.Snapshot(),
+		Backends:       make(map[string]BackendSnapshot),
 	}
 	m.mu.Lock()
 	addrs := make([]string, 0, len(m.backends))

@@ -59,10 +59,16 @@ func ServeTimed(conn *wire.Conn, table *database.Table, timings *PhaseTimings) e
 	// exits when the client stops sending (it blocks in Recv until the
 	// connection closes, which the caller does after Serve returns).
 	fail := func(err error) error {
+		code := wire.ErrorCodeFor(err)
+		if code == wire.CodeNone {
+			// Everything the serve loop rejects that is not a transport
+			// fault is a deterministic protocol rejection.
+			code = wire.CodeProtocol
+		}
 		sent := make(chan struct{})
 		go func() {
 			defer close(sent)
-			_ = conn.SendError(err.Error())
+			_ = conn.SendErrorCode(code, err.Error())
 		}()
 		go func() {
 			for {
@@ -91,6 +97,12 @@ func ServeTimed(conn *wire.Conn, table *database.Table, timings *PhaseTimings) e
 	if hello.Version != wire.Version {
 		return fail(fmt.Errorf("selectedsum: unsupported protocol version %d", hello.Version))
 	}
+	if hello.Flags&wire.HelloFlagFrameCRC != 0 {
+		// The client asked for CRC-trailed frames; everything we send from
+		// here on carries one. (Inbound frames are verified statelessly
+		// whenever they carry a trailer, no switch needed.)
+		conn.EnableCRC()
+	}
 	pk, err := homomorphic.ParsePublicKey(hello.Scheme, hello.PublicKey)
 	if err != nil {
 		return fail(err)
@@ -108,7 +120,17 @@ func ServeTimed(conn *wire.Conn, table *database.Table, timings *PhaseTimings) e
 	for {
 		f, err := conn.Recv()
 		if err != nil {
+			if errors.Is(err, wire.ErrFrameCorrupt) {
+				return fail(err)
+			}
 			return fmt.Errorf("selectedsum: reading chunk: %w", err)
+		}
+		// After CRC negotiation the client trails every frame; a plain
+		// frame here means the type byte's flag bit (or the whole header)
+		// was corrupted in flight, so classify it as corruption — a
+		// retryable transport fault — not a protocol violation.
+		if conn.CRCEnabled() && !f.CRC {
+			return fail(fmt.Errorf("selectedsum: plain frame type %#x in a CRC session: %w", byte(f.Type), wire.ErrFrameCorrupt))
 		}
 		switch f.Type {
 		case wire.MsgIndexChunk:
@@ -213,9 +235,21 @@ func QueryVector(conn *wire.Conn, sk homomorphic.PrivateKey, src VectorSource, c
 		VectorLen: uint64(n),
 		ChunkLen:  uint32(chunkSize),
 	}
+	if conn.CRCEnabled() {
+		hello.Flags |= wire.HelloFlagFrameCRC
+	}
 	if err := conn.Send(wire.MsgHello, hello.Encode()); err != nil {
 		return nil, fmt.Errorf("selectedsum: sending hello: %w", err)
 	}
+	// The only frames the server sends are one sum ciphertext or one
+	// bounded error; cap the inbound declared length accordingly so a
+	// corrupted or malicious length header cannot trigger a giant
+	// allocation.
+	limit := pk.CiphertextSize()
+	if limit < wire.MaxErrorPayload {
+		limit = wire.MaxErrorPayload
+	}
+	conn.SetMaxFrame(limit + 64)
 
 	// The server sends exactly one frame per session (the sum, or an early
 	// error), so a single background Recv covers the whole exchange.
@@ -239,6 +273,8 @@ func QueryVector(conn *wire.Conn, sk homomorphic.PrivateKey, src VectorSource, c
 				return fmt.Errorf("selectedsum: reading early reply: %w", r.err)
 			case r.f.Type == wire.MsgError:
 				return wire.DecodeError(r.f.Payload)
+			case conn.CRCEnabled() && !r.f.CRC:
+				return fmt.Errorf("selectedsum: plain frame type %#x in a CRC session: %w", byte(r.f.Type), wire.ErrFrameCorrupt)
 			default:
 				return fmt.Errorf("selectedsum: unexpected message type %#x mid-upload", byte(r.f.Type))
 			}
@@ -312,6 +348,11 @@ func QueryVector(conn *wire.Conn, sk homomorphic.PrivateKey, src VectorSource, c
 	case wire.MsgError:
 		return nil, wire.DecodeError(r.f.Payload)
 	default:
+		if conn.CRCEnabled() && !r.f.CRC {
+			// Impossible plain type in a CRC session: a corrupted header,
+			// classified retryable rather than protocol-fatal.
+			return nil, fmt.Errorf("selectedsum: plain frame type %#x in a CRC session: %w", byte(r.f.Type), wire.ErrFrameCorrupt)
+		}
 		return nil, fmt.Errorf("selectedsum: expected sum, got message type %#x", byte(r.f.Type))
 	}
 }

@@ -299,7 +299,7 @@ func (s *Server) rejectBusy(conn net.Conn) {
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(s.cfg.RejectTimeout))
 	wc := wire.NewConn(conn)
-	if err := wc.SendError("server busy: all session slots in use, try again later"); err != nil {
+	if err := wc.SendErrorCode(wire.CodeBusy, "server busy: all session slots in use, try again later"); err != nil {
 		return
 	}
 	_, _ = io.Copy(io.Discard, conn)
@@ -381,7 +381,7 @@ func (s *Server) serveSession(conn net.Conn) (err error) {
 		// read side's, but a passed SessionTimeout cap fails this fast,
 		// which is fine).
 		_ = conn.SetWriteDeadline(time.Now().Add(DefaultRejectTimeout))
-		_ = wc.SendError("session timed out waiting for client")
+		_ = wc.SendErrorCode(wire.CodeTimeout, "session timed out waiting for client")
 		return fmt.Errorf("server: session idle timeout: %w", err)
 	}
 	return err

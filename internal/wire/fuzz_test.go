@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -13,6 +14,9 @@ func FuzzReadFrame(f *testing.F) {
 	var seed bytes.Buffer
 	_, _ = WriteFrame(&seed, MsgHello, []byte("seed payload"))
 	f.Add(seed.Bytes())
+	var crcSeed bytes.Buffer
+	_, _ = WriteFrameCRC(&crcSeed, MsgSum, []byte("crc seed"))
+	f.Add(crcSeed.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -23,15 +27,57 @@ func FuzzReadFrame(f *testing.F) {
 		if n > len(data) {
 			t.Fatalf("claimed to read %d of %d bytes", n, len(data))
 		}
-		// Round trip: re-encoding the decoded frame must reproduce the
-		// consumed bytes.
+		// Round trip: re-encoding the decoded frame with the framing it
+		// arrived in must reproduce the consumed bytes. (A CRC frame that
+		// decoded has, by construction, a valid trailer to reproduce.)
 		var buf bytes.Buffer
-		wn, err := WriteFrame(&buf, fr.Type, fr.Payload)
+		var wn int
+		if fr.CRC {
+			wn, err = WriteFrameCRC(&buf, fr.Type, fr.Payload)
+		} else {
+			wn, err = WriteFrame(&buf, fr.Type, fr.Payload)
+		}
 		if err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}
 		if wn != n || !bytes.Equal(buf.Bytes(), data[:n]) {
 			t.Fatal("re-encoded frame differs from consumed bytes")
+		}
+	})
+}
+
+func FuzzDecodeErrorPayload(f *testing.F) {
+	f.Add([]byte("[busy] server busy"))
+	f.Add([]byte("plain text error"))
+	f.Add([]byte("[not a code] bracketed prose"))
+	f.Add(bytes.Repeat([]byte{0x1B}, 2048)) // oversized ANSI-escape bomb
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err := DecodeError(data)
+		if err == nil {
+			t.Fatal("DecodeError returned nil")
+		}
+		msg := err.Error()
+		// Bounded: the sanitized text cannot exceed the payload cap plus
+		// the fixed "wire: peer error: " / "[code] " dressing.
+		if len(msg) > MaxErrorPayload+64 {
+			t.Fatalf("error message is %d bytes", len(msg))
+		}
+		// Printable: nothing outside 0x20..0x7E may survive sanitization.
+		for i := 0; i < len(msg); i++ {
+			if msg[i] < 0x20 || msg[i] > 0x7E {
+				t.Fatalf("non-printable byte %#x at %d", msg[i], i)
+			}
+		}
+		// A recognized code must be one the encoder can reproduce within
+		// bounds: re-encoding the decoded error stays under the cap.
+		code := ErrorCodeOf(err)
+		var pe *PeerError
+		if !errors.As(err, &pe) {
+			t.Fatal("DecodeError did not return a *PeerError")
+		}
+		if re := EncodeErrorCode(code, pe.Msg); len(re) > MaxErrorPayload {
+			t.Fatalf("re-encoded payload is %d bytes", len(re))
 		}
 	})
 }

@@ -3,6 +3,7 @@ package wire
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Meter counts bytes and frames moving through a connection. The netsim
@@ -69,6 +70,15 @@ type Conn struct {
 	// is inert.
 	dls deadlines
 
+	// crc, when set, appends CRC32 trailers to every sent frame (the
+	// HelloFlagFrameCRC negotiation). Received frames are verified
+	// statelessly whenever they carry a trailer.
+	crc atomic.Bool
+
+	// maxFrame, when positive, lowers the Recv payload ceiling below the
+	// global MaxFrame (see ReadFrameLimit).
+	maxFrame atomic.Int64
+
 	wmu sync.Mutex // serialize frame writes
 	rmu sync.Mutex // serialize frame reads
 }
@@ -87,12 +97,33 @@ func NewConn(rw io.ReadWriter) *Conn {
 	return c
 }
 
+// EnableCRC switches the connection's send side to CRC-trailed frames
+// (after HelloFlagFrameCRC negotiation — or, on the client, before sending
+// the flagged hello, which is then itself CRC-framed). The receive side
+// always verifies trailers when present, so no receive-side switch exists.
+func (c *Conn) EnableCRC() { c.crc.Store(true) }
+
+// CRCEnabled reports whether sent frames carry CRC trailers.
+func (c *Conn) CRCEnabled() bool { return c.crc.Load() }
+
+// SetMaxFrame lowers the Recv payload ceiling to n bytes (0 restores the
+// global MaxFrame). A client expecting only a sum ciphertext or a bounded
+// error message uses it to reject absurd declared lengths before
+// allocating.
+func (c *Conn) SetMaxFrame(n int) { c.maxFrame.Store(int64(n)) }
+
 // Send writes one frame.
 func (c *Conn) Send(t MsgType, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.beforeSend()
-	n, err := WriteFrame(c.w, t, payload)
+	var n int
+	var err error
+	if c.crc.Load() {
+		n, err = WriteFrameCRC(c.w, t, payload)
+	} else {
+		n, err = WriteFrame(c.w, t, payload)
+	}
 	if err != nil {
 		return err
 	}
@@ -105,7 +136,7 @@ func (c *Conn) Recv() (Frame, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
 	c.beforeRecv()
-	f, n, err := ReadFrame(c.r)
+	f, n, err := ReadFrameLimit(c.r, int(c.maxFrame.Load()))
 	if err != nil {
 		return Frame{}, err
 	}
@@ -117,6 +148,17 @@ func (c *Conn) Recv() (Frame, error) {
 // effort (the peer may already be gone) and returns the write error if any.
 func (c *Conn) SendError(msg string) error {
 	return c.Send(MsgError, EncodeError(msg))
+}
+
+// SendErrorCode sends a classified MsgError frame ("[code] msg").
+func (c *Conn) SendErrorCode(code ErrorCode, msg string) error {
+	return c.Send(MsgError, EncodeErrorCode(code, msg))
+}
+
+// SendErrorFor reports err to the peer with the code ErrorCodeFor picks
+// (transport faults travel classified, protocol errors as plain text).
+func (c *Conn) SendErrorFor(err error) error {
+	return c.Send(MsgError, EncodeErrorCode(ErrorCodeFor(err), err.Error()))
 }
 
 // Close closes the underlying transport when it is closable.

@@ -18,7 +18,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"strings"
 )
 
 // MsgType identifies a frame's payload.
@@ -47,6 +49,17 @@ const (
 // allocation.
 const MaxFrame = 64 << 20
 
+// frameFlagCRC, set on the wire type byte, marks a frame that carries a
+// 4-byte big-endian CRC32 (IEEE) trailer computed over the header and
+// payload. Receivers handle flagged frames statelessly — negotiation (the
+// HelloFlagFrameCRC hello flag) only governs which frames a sender flags,
+// so a CRC session still parses the plain frames a pre-negotiation path
+// (e.g. the server's busy rejection) may emit.
+const frameFlagCRC = 0x80
+
+// crcTrailerSize is the length of the CRC32 frame trailer.
+const crcTrailerSize = 4
+
 // Protocol version for MsgHello.
 const Version = 1
 
@@ -55,16 +68,25 @@ var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 	// ErrBadMessage is returned when a payload does not parse.
 	ErrBadMessage = errors.New("wire: malformed message")
+	// ErrFrameCorrupt is returned when a CRC-trailed frame fails its
+	// checksum: the bytes were damaged in flight. Unlike ErrBadMessage it
+	// is a transport fault, so the cluster client treats it as retryable.
+	ErrFrameCorrupt = errors.New("wire: frame corrupt (CRC mismatch)")
 )
 
 // Frame is one decoded wire frame.
 type Frame struct {
 	Type    MsgType
 	Payload []byte
+	// CRC reports whether the frame carried (and passed) a CRC32 trailer.
+	CRC bool
 }
 
 // WriteFrame writes one frame to w and returns the number of bytes written.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) (int, error) {
+	if byte(t)&frameFlagCRC != 0 {
+		return 0, fmt.Errorf("%w: type %#x uses the reserved CRC flag bit", ErrBadMessage, byte(t))
+	}
 	if len(payload) > MaxFrame {
 		return 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
@@ -85,23 +107,91 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) (int, error) {
 	return len(hdr) + len(payload), nil
 }
 
+// WriteFrameCRC writes one frame with a CRC32 trailer (the frameFlagCRC
+// bit set on the type byte, a 4-byte checksum over header and payload
+// appended). It returns the number of bytes written.
+func WriteFrameCRC(w io.Writer, t MsgType, payload []byte) (int, error) {
+	if byte(t)&frameFlagCRC != 0 {
+		return 0, fmt.Errorf("%w: type %#x uses the reserved CRC flag bit", ErrBadMessage, byte(t))
+	}
+	if len(payload) > MaxFrame {
+		return 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = byte(t) | frameFlagCRC
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	sum := crc32.ChecksumIEEE(hdr[:])
+	sum = crc32.Update(sum, crc32.IEEETable, payload)
+	var trailer [crcTrailerSize]byte
+	binary.BigEndian.PutUint32(trailer[:], sum)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return len(hdr), fmt.Errorf("wire: writing frame payload: %w", err)
+		}
+	}
+	if _, err := w.Write(trailer[:]); err != nil {
+		return len(hdr) + len(payload), fmt.Errorf("wire: writing frame trailer: %w", err)
+	}
+	return len(hdr) + len(payload) + crcTrailerSize, nil
+}
+
 // ReadFrame reads one frame from r. It validates the declared length before
-// allocating.
+// allocating, and verifies the CRC32 trailer when the frame carries one.
 func ReadFrame(r io.Reader) (Frame, int, error) {
+	return ReadFrameLimit(r, MaxFrame)
+}
+
+// ReadFrameLimit is ReadFrame with a caller-chosen payload ceiling (capped
+// at MaxFrame). Peers that know the largest frame they can legitimately
+// receive — a client expecting one sum ciphertext, an aggregator expecting
+// one partial — use it to reject a hostile or corrupt declared length far
+// below the global bound, before allocating.
+func ReadFrameLimit(r io.Reader, limit int) (Frame, int, error) {
+	if limit <= 0 || limit > MaxFrame {
+		limit = MaxFrame
+	}
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Frame{}, 0, fmt.Errorf("wire: reading frame header: %w", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[1:])
-	if n > MaxFrame {
-		return Frame{}, len(hdr), fmt.Errorf("%w: declared %d bytes", ErrFrameTooLarge, n)
+	if n > uint32(limit) {
+		return Frame{}, len(hdr), fmt.Errorf("%w: declared %d bytes (limit %d)", ErrFrameTooLarge, n, limit)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return Frame{}, len(hdr), fmt.Errorf("wire: reading frame payload: %w", err)
 	}
-	return Frame{Type: MsgType(hdr[0]), Payload: payload}, len(hdr) + int(n), nil
+	read := len(hdr) + int(n)
+	t := hdr[0]
+	if t&frameFlagCRC == 0 {
+		return Frame{Type: MsgType(t), Payload: payload}, read, nil
+	}
+	var trailer [crcTrailerSize]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return Frame{}, read, fmt.Errorf("wire: reading frame trailer: %w", err)
+	}
+	read += crcTrailerSize
+	sum := crc32.ChecksumIEEE(hdr[:])
+	sum = crc32.Update(sum, crc32.IEEETable, payload)
+	if got := binary.BigEndian.Uint32(trailer[:]); got != sum {
+		return Frame{}, read, fmt.Errorf("%w: trailer %08x, computed %08x", ErrFrameCorrupt, got, sum)
+	}
+	return Frame{Type: MsgType(t &^ frameFlagCRC), Payload: payload, CRC: true}, read, nil
 }
+
+// Hello option flags (Hello.Flags bits).
+const (
+	// HelloFlagFrameCRC asks the peer to append CRC32 trailers to the
+	// frames it sends for the rest of the session; the sender of the flag
+	// commits to doing the same (its hello is already CRC-framed).
+	// Corruption is then detected at the frame layer instead of surfacing
+	// as a garbage bignum or a misparsed message.
+	HelloFlagFrameCRC uint32 = 1 << 0
+)
 
 // Hello is the session-opening message.
 type Hello struct {
@@ -122,11 +212,16 @@ type Hello struct {
 	// backends without rewriting chunk framing. Zero (the single-server
 	// default) leaves offsets untranslated.
 	RowOffset uint64
+	// Flags carries session option bits (HelloFlag*). Unknown bits are
+	// ignored by the receiver, so new options stay backward compatible.
+	Flags uint32
 }
 
-// Encode serializes h.
+// Encode serializes h. The trailer is emitted in its shortest accepted
+// form — flags are appended only when set — so a flagless hello stays
+// parseable by pre-flags peers.
 func (h *Hello) Encode() []byte {
-	b := make([]byte, 0, 4+4+len(h.Scheme)+4+len(h.PublicKey)+8+4+8)
+	b := make([]byte, 0, 4+4+len(h.Scheme)+4+len(h.PublicKey)+8+4+8+4)
 	b = binary.BigEndian.AppendUint32(b, h.Version)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(h.Scheme)))
 	b = append(b, h.Scheme...)
@@ -135,6 +230,9 @@ func (h *Hello) Encode() []byte {
 	b = binary.BigEndian.AppendUint64(b, h.VectorLen)
 	b = binary.BigEndian.AppendUint32(b, h.ChunkLen)
 	b = binary.BigEndian.AppendUint64(b, h.RowOffset)
+	if h.Flags != 0 {
+		b = binary.BigEndian.AppendUint32(b, h.Flags)
+	}
 	return b
 }
 
@@ -163,17 +261,21 @@ func DecodeHello(b []byte) (*Hello, error) {
 	}
 	h.PublicKey = append([]byte(nil), b[:keyLen]...)
 	b = b[keyLen:]
-	// Two accepted trailers: the original 12-byte form (vector length +
-	// chunk length) and the 20-byte shard-scoped form that appends
-	// RowOffset. Accepting both keeps pre-cluster clients interoperable —
-	// a missing row offset means "rows start at zero".
-	if len(b) != 12 && len(b) != 20 {
-		return nil, fmt.Errorf("%w: hello has %d trailing bytes, want 12 or 20", ErrBadMessage, len(b))
+	// Three accepted trailers: the original 12-byte form (vector length +
+	// chunk length), the 20-byte shard-scoped form that appends RowOffset,
+	// and the 24-byte form that appends session Flags. Accepting all keeps
+	// earlier clients interoperable — a missing row offset means "rows
+	// start at zero", missing flags mean "no options".
+	if len(b) != 12 && len(b) != 20 && len(b) != 24 {
+		return nil, fmt.Errorf("%w: hello has %d trailing bytes, want 12, 20, or 24", ErrBadMessage, len(b))
 	}
 	h.VectorLen = binary.BigEndian.Uint64(b)
 	h.ChunkLen = binary.BigEndian.Uint32(b[8:])
-	if len(b) == 20 {
+	if len(b) >= 20 {
 		h.RowOffset = binary.BigEndian.Uint64(b[12:])
+	}
+	if len(b) == 24 {
+		h.Flags = binary.BigEndian.Uint32(b[20:])
 	}
 	return &h, nil
 }
@@ -227,8 +329,141 @@ func DecodeIndexChunk(b []byte, width int) (*IndexChunk, error) {
 	}, nil
 }
 
-// EncodeError and DecodeError wrap MsgError payloads.
-func EncodeError(msg string) []byte { return []byte(msg) }
+// MaxErrorPayload bounds a MsgError payload in both directions: encoders
+// truncate before sending, and DecodeError truncates before logging, so a
+// malicious peer cannot blow up client logs or memory with a multi-megabyte
+// "error message".
+const MaxErrorPayload = 1024
 
-// DecodeError returns the error carried by a MsgError payload.
-func DecodeError(b []byte) error { return fmt.Errorf("wire: peer error: %s", b) }
+// ErrorCode classifies a MsgError so the receiving side can react without
+// parsing prose: retry on transient faults, fail fast on protocol
+// rejections. Codes travel as a "[code] " payload prefix, which stays
+// readable to peers that treat the payload as free text.
+type ErrorCode string
+
+// Known error codes.
+const (
+	// CodeNone marks an uncoded (legacy free-text) error.
+	CodeNone ErrorCode = ""
+	// CodeBusy is the server's admission-control rejection: load shedding,
+	// worth retrying elsewhere or later.
+	CodeBusy ErrorCode = "busy"
+	// CodeTimeout reports the peer gave up waiting (idle/session deadline).
+	CodeTimeout ErrorCode = "timeout"
+	// CodeCorruptFrame reports the peer received a frame that failed its
+	// CRC check — a transport fault, retryable on a fresh connection.
+	CodeCorruptFrame ErrorCode = "corrupt-frame"
+	// CodeShardUnavailable is the aggregator's classified partial-failure
+	// report: a shard exhausted every candidate backend, so the whole query
+	// failed (never a partial sum). Transient cluster state, retryable.
+	CodeShardUnavailable ErrorCode = "shard-unavailable"
+	// CodeProtocol marks a deterministic protocol rejection (bad lengths,
+	// unknown scheme, malformed message); retrying cannot help.
+	CodeProtocol ErrorCode = "protocol"
+)
+
+// PeerError is the decoded form of a MsgError payload.
+type PeerError struct {
+	Code ErrorCode
+	Msg  string
+}
+
+// Error implements error, keeping the legacy "wire: peer error: ..." shape
+// (with the raw "[code] " prefix intact) so existing string matching holds.
+func (e *PeerError) Error() string {
+	if e.Code != CodeNone {
+		return fmt.Sprintf("wire: peer error: [%s] %s", e.Code, e.Msg)
+	}
+	return "wire: peer error: " + e.Msg
+}
+
+// ErrorCodeOf extracts the code from a (possibly wrapped) PeerError.
+func ErrorCodeOf(err error) ErrorCode {
+	var pe *PeerError
+	if errors.As(err, &pe) {
+		return pe.Code
+	}
+	return CodeNone
+}
+
+// ErrorCodeFor picks the MsgError code describing why a session is being
+// failed: transport-level faults get their transient codes (so the peer's
+// retry policy can distinguish them), everything else stays uncoded for the
+// caller to classify. A relayed PeerError keeps its original code.
+func ErrorCodeFor(err error) ErrorCode {
+	switch {
+	case err == nil:
+		return CodeNone
+	case errors.Is(err, ErrFrameCorrupt):
+		return CodeCorruptFrame
+	case IsTimeout(err):
+		return CodeTimeout
+	}
+	return ErrorCodeOf(err)
+}
+
+// EncodeError wraps a free-text MsgError payload, truncated to
+// MaxErrorPayload.
+func EncodeError(msg string) []byte { return EncodeErrorCode(CodeNone, msg) }
+
+// EncodeErrorCode wraps a classified MsgError payload: "[code] msg",
+// truncated to MaxErrorPayload.
+func EncodeErrorCode(code ErrorCode, msg string) []byte {
+	s := msg
+	if code != CodeNone {
+		s = "[" + string(code) + "] " + msg
+	}
+	if len(s) > MaxErrorPayload {
+		s = s[:MaxErrorPayload]
+	}
+	return []byte(s)
+}
+
+// DecodeError returns the error carried by a MsgError payload. The payload
+// is hostile input: it is truncated to MaxErrorPayload and stripped of
+// non-printable bytes before it can reach a log line or terminal, and a
+// recognized "[code] " prefix is lifted into PeerError.Code.
+func DecodeError(b []byte) error {
+	if len(b) > MaxErrorPayload {
+		b = b[:MaxErrorPayload]
+	}
+	text := sanitizeErrorText(b)
+	code, rest, ok := splitErrorCode(text)
+	if ok {
+		return &PeerError{Code: code, Msg: rest}
+	}
+	return &PeerError{Msg: text}
+}
+
+// sanitizeErrorText replaces every non-printable byte (anything outside
+// 0x20..0x7E, including newlines and ANSI escape bytes) with '.'.
+func sanitizeErrorText(b []byte) string {
+	clean := make([]byte, len(b))
+	for i, c := range b {
+		if c < 0x20 || c > 0x7E {
+			c = '.'
+		}
+		clean[i] = c
+	}
+	return string(clean)
+}
+
+// splitErrorCode parses a "[code] rest" prefix. Only short lowercase
+// kebab-case tokens qualify, so bracketed prose is left alone.
+func splitErrorCode(s string) (ErrorCode, string, bool) {
+	if !strings.HasPrefix(s, "[") {
+		return CodeNone, "", false
+	}
+	end := strings.Index(s, "] ")
+	if end < 1 || end > 33 {
+		return CodeNone, "", false
+	}
+	code := s[1:end]
+	for i := 0; i < len(code); i++ {
+		c := code[i]
+		if (c < 'a' || c > 'z') && c != '-' {
+			return CodeNone, "", false
+		}
+	}
+	return ErrorCode(code), s[end+2:], true
+}

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"strings"
@@ -33,19 +34,37 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestFrameRoundTripProperty(t *testing.T) {
-	prop := func(t8 uint8, payload []byte) bool {
+	// The high bit of the type byte is the reserved CRC flag, so the valid
+	// caller-facing type space is 7 bits; both framings must round-trip it.
+	prop := func(t8 uint8, payload []byte, crc bool) bool {
+		t8 &= 0x7F
 		var buf bytes.Buffer
-		if _, err := WriteFrame(&buf, MsgType(t8), payload); err != nil {
+		var err error
+		if crc {
+			_, err = WriteFrameCRC(&buf, MsgType(t8), payload)
+		} else {
+			_, err = WriteFrame(&buf, MsgType(t8), payload)
+		}
+		if err != nil {
 			return false
 		}
 		f, _, err := ReadFrame(&buf)
 		if err != nil {
 			return false
 		}
-		return f.Type == MsgType(t8) && bytes.Equal(f.Payload, payload)
+		return f.Type == MsgType(t8) && bytes.Equal(f.Payload, payload) && f.CRC == crc
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestWriteFrameRejectsReservedTypeBit(t *testing.T) {
+	if _, err := WriteFrame(io.Discard, MsgType(0x81), nil); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("plain: err = %v, want ErrBadMessage", err)
+	}
+	if _, err := WriteFrameCRC(io.Discard, MsgType(0x81), nil); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("crc: err = %v, want ErrBadMessage", err)
 	}
 }
 
@@ -314,5 +333,176 @@ func TestDecodeHelloLegacyTrailer(t *testing.T) {
 	}
 	if got.RowOffset != 0 || got.VectorLen != 42 || got.ChunkLen != 7 {
 		t.Errorf("legacy decode got %+v", got)
+	}
+}
+
+// --- CRC frame trailer ---
+
+func TestCRCFrameDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrameCRC(&buf, MsgSum, []byte("precious ciphertext")); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Flip each payload byte in turn: every corruption must be caught.
+	for i := 5; i < len(b); i++ {
+		mut := append([]byte{}, b...)
+		mut[i] ^= 0x01
+		if _, _, err := ReadFrame(bytes.NewReader(mut)); !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("flipped byte %d: err = %v, want ErrFrameCorrupt", i, err)
+		}
+	}
+	// A length-field flip changes the declared size; it must error some way
+	// (truncation or CRC), never decode cleanly.
+	mut := append([]byte{}, b...)
+	mut[4] ^= 0x01
+	if _, _, err := ReadFrame(bytes.NewReader(mut)); err == nil {
+		t.Fatal("length corruption decoded cleanly")
+	}
+}
+
+func TestReadFrameLimitCeiling(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, MsgSum, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFrameLimit(bytes.NewReader(buf.Bytes()), 128); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge under lowered ceiling", err)
+	}
+	if _, _, err := ReadFrameLimit(bytes.NewReader(buf.Bytes()), 512); err != nil {
+		t.Fatalf("exact ceiling should pass: %v", err)
+	}
+}
+
+// Mixed-version interop: a new (CRC-capable) peer talking to an old one.
+// Old peers never set HelloFlagFrameCRC and never send CRC trailers; a new
+// receiver must accept their plain frames, and a new sender must not send
+// CRC frames unless the flag was negotiated.
+func TestMixedVersionCRCInterop(t *testing.T) {
+	// Old sender -> new receiver: plain frames pass through, CRC=false.
+	var plain bytes.Buffer
+	if _, err := WriteFrame(&plain, MsgSum, []byte("old peer")); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := ReadFrame(&plain)
+	if err != nil || f.CRC {
+		t.Fatalf("plain frame through new reader: %+v, %v", f, err)
+	}
+
+	// A hello without the flag encodes WITHOUT the flags trailer, so an
+	// old DecodeHello (which rejects unknown trailer lengths) still parses
+	// it. The flagged form uses the extended trailer.
+	h := &Hello{Version: Version, Scheme: "paillier", PublicKey: []byte{1}, VectorLen: 10, ChunkLen: 5}
+	unflagged := h.Encode()
+	h2 := *h
+	h2.Flags = HelloFlagFrameCRC
+	flagged := h2.Encode()
+	if len(flagged) != len(unflagged)+4 {
+		t.Fatalf("flagged hello is %d bytes, unflagged %d; want +4", len(flagged), len(unflagged))
+	}
+	got, err := DecodeHello(unflagged)
+	if err != nil || got.Flags != 0 {
+		t.Fatalf("unflagged decode: %+v, %v", got, err)
+	}
+	got, err = DecodeHello(flagged)
+	if err != nil || got.Flags != HelloFlagFrameCRC {
+		t.Fatalf("flagged decode: %+v, %v", got, err)
+	}
+
+	// New Conn without EnableCRC behaves exactly like an old peer on the
+	// wire: no flag bit on the type byte.
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+	go func() { _ = ca.Send(MsgDone, nil) }()
+	fr, err := cb.Recv()
+	if err != nil || fr.CRC {
+		t.Fatalf("un-negotiated conn sent CRC frame: %+v, %v", fr, err)
+	}
+	// After EnableCRC the same conn's frames carry (and verify) trailers.
+	ca.EnableCRC()
+	go func() { _ = ca.Send(MsgDone, nil) }()
+	fr, err = cb.Recv()
+	if err != nil || !fr.CRC {
+		t.Fatalf("negotiated conn frame: %+v, %v", fr, err)
+	}
+}
+
+// --- classified error codes ---
+
+func TestErrorCodeRoundTrip(t *testing.T) {
+	for _, code := range []ErrorCode{CodeBusy, CodeTimeout, CodeCorruptFrame, CodeShardUnavailable, CodeProtocol} {
+		payload := EncodeErrorCode(code, "details here")
+		err := DecodeError(payload)
+		if got := ErrorCodeOf(err); got != code {
+			t.Errorf("code %q round-tripped to %q (err: %v)", code, got, err)
+		}
+		if !strings.Contains(err.Error(), "details here") {
+			t.Errorf("message lost: %v", err)
+		}
+	}
+	// Uncoded payloads stay uncoded.
+	if got := ErrorCodeOf(DecodeError([]byte("free text"))); got != CodeNone {
+		t.Errorf("free text got code %q", got)
+	}
+	// Bracketed prose is not mistaken for a code.
+	if got := ErrorCodeOf(DecodeError([]byte("[some Long Prose] x"))); got != CodeNone {
+		t.Errorf("prose got code %q", got)
+	}
+}
+
+func TestDecodeErrorBoundsAndSanitizes(t *testing.T) {
+	// Oversized payloads are truncated.
+	huge := bytes.Repeat([]byte("A"), 10*MaxErrorPayload)
+	err := DecodeError(huge)
+	if len(err.Error()) > MaxErrorPayload+64 {
+		t.Errorf("err is %d bytes", len(err.Error()))
+	}
+	// Control bytes, newlines, and ANSI escapes are stripped.
+	evil := []byte("bad\x1b[31mred\x1b[0m\nnewline\x00null")
+	msg := DecodeError(evil).Error()
+	for i := 0; i < len(msg); i++ {
+		if msg[i] < 0x20 || msg[i] > 0x7E {
+			t.Fatalf("non-printable %#x survived at %d in %q", msg[i], i, msg)
+		}
+	}
+	if !strings.Contains(msg, "bad") || !strings.Contains(msg, "red") {
+		t.Errorf("legitimate text lost: %q", msg)
+	}
+}
+
+func TestEncodeErrorCodeTruncates(t *testing.T) {
+	msg := strings.Repeat("x", 5000)
+	b := EncodeErrorCode(CodeBusy, msg)
+	if len(b) > MaxErrorPayload {
+		t.Fatalf("payload is %d bytes", len(b))
+	}
+	if got := ErrorCodeOf(DecodeError(b)); got != CodeBusy {
+		t.Errorf("truncation destroyed the code: %q", got)
+	}
+}
+
+func TestErrorCodeFor(t *testing.T) {
+	if got := ErrorCodeFor(ErrFrameCorrupt); got != CodeCorruptFrame {
+		t.Errorf("corrupt: %q", got)
+	}
+	if got := ErrorCodeFor(errors.New("misc")); got != CodeNone {
+		t.Errorf("misc: %q", got)
+	}
+	inner := &PeerError{Code: CodeBusy, Msg: "b"}
+	if got := ErrorCodeFor(fmt.Errorf("wrapped: %w", inner)); got != CodeBusy {
+		t.Errorf("relayed: %q", got)
+	}
+}
+
+func TestHelloFlagsRoundTrip(t *testing.T) {
+	h := &Hello{Version: Version, Scheme: "s", PublicKey: []byte{1}, VectorLen: 1, ChunkLen: 1, RowOffset: 9, Flags: HelloFlagFrameCRC}
+	got, err := DecodeHello(h.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flags != HelloFlagFrameCRC || got.RowOffset != 9 {
+		t.Errorf("got %+v", got)
 	}
 }
