@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet check chaos fuzz-smoke cluster-demo
+.PHONY: all build test race fmt vet check chaos fuzz-smoke bench-fold cluster-demo
 
 all: build
 
@@ -50,7 +50,13 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzReadTable$$' -fuzztime=$(FUZZTIME) ./internal/database/; \
 	for t in FuzzParseCiphertext FuzzPrivateKeyUnmarshal; do \
 		$(GO) test -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) ./internal/paillier/; \
-	done
+	done; \
+	$(GO) test -fuzz='^FuzzFoldEquivalence$$' -fuzztime=$(FUZZTIME) ./internal/selectedsum/
+
+# Server-fold ablation: one bounded pass of the naive-vs-bucket
+# multi-exponentiation benchmark (reference run in results/multiexp.txt).
+bench-fold:
+	$(GO) test -run '^$$' -bench '^BenchmarkFoldMultiExp$$' -benchtime 1x .
 
 # Live sharded deployment on loopback: two sumserver shard backends behind
 # the sumproxy aggregator, queried by sumclient, checked against a direct

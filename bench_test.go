@@ -252,6 +252,42 @@ func BenchmarkChunkSize(b *testing.B) {
 	}
 }
 
+// BenchmarkFoldMultiExp ablates the server's fold: the naive ScalarMul+Add
+// loop versus bucket multi-exponentiation (sequential, several window
+// widths, and parallel) across chunk sizes. Expected shape: the bucket fold
+// cuts per-row time by ≥3x at 4096 rows, with wider windows winning as the
+// chunk grows; reference numbers live in results/multiexp.txt.
+func BenchmarkFoldMultiExp(b *testing.B) {
+	cfg := benchConfig(b)
+	sizes := []int{256, 1024, 4096}
+	if testing.Short() {
+		sizes = []int{256}
+	}
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.FoldAblation(sizes, []uint{4, 6, 8}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			naive := map[int]time.Duration{}
+			for _, r := range rows {
+				if r.Variant == "naive" {
+					naive[r.Rows] = r.Time
+				}
+			}
+			for _, r := range rows {
+				b.ReportMetric(float64(r.PerRow()), "n"+itoa(r.Rows)+"-"+r.Variant+"-ns/row")
+			}
+			big := sizes[len(sizes)-1]
+			for _, r := range rows {
+				if r.Rows == big && r.Variant == "bucket-auto" {
+					b.ReportMetric(float64(naive[big])/float64(r.Time), "speedup-x")
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkBaselines places the private protocol next to the two trivial
 // non-private protocols of Section 2.
 func BenchmarkBaselines(b *testing.B) {

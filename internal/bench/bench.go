@@ -140,6 +140,11 @@ type ComponentRow struct {
 	Total              time.Duration
 	Preprocess         time.Duration // offline time, preprocessed runs only
 	BytesUp, BytesDown int64
+	// OnlineFallbacks counts index bits the client had to encrypt online
+	// because the preprocessing pool ran dry (preprocessed runs only). A
+	// nonzero value means the row's ClientEncrypt mixes pooled and online
+	// costs and the §3.3 figure is skewed; the report flags it.
+	OnlineFallbacks int
 }
 
 // ComparisonRow is one point of an overall-runtime comparison figure
@@ -189,8 +194,9 @@ func (c Config) runComponents(link netsim.Link, preprocess, pipelined bool, labe
 			opts.Pipelined = true
 		}
 		var preprocessTime time.Duration
+		var store *paillier.BitStore
 		if preprocess {
-			store := paillier.NewBitStore(rawSK.Public())
+			store = paillier.NewBitStore(rawSK.Public())
 			start := time.Now()
 			// Stock exactly what this query draws; a deployment would
 			// overprovision, which only helps.
@@ -222,6 +228,9 @@ func (c Config) runComponents(link netsim.Link, preprocess, pipelined bool, labe
 			Preprocess:    c.scale(preprocessTime),
 			BytesUp:       res.BytesUp,
 			BytesDown:     res.BytesDown,
+		}
+		if store != nil {
+			row.OnlineFallbacks = store.OnlineFallbacks()
 		}
 		if c.ComputeScale > 0 && c.ComputeScale != 1 {
 			// Scaling invalidates the measured pipeline makespan; report

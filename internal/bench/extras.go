@@ -355,6 +355,97 @@ func (c Config) ServerScaling(maxWorkers int) ([]ScalingRow, error) {
 	return rows, nil
 }
 
+// PreprocRow reports one preprocessing pool's behavior when draws overrun
+// its stock: the pooled phase cost, the online-fallback phase cost, and the
+// fallback counter the pool recorded.
+type PreprocRow struct {
+	Pool      string
+	Stocked   int
+	Draws     int
+	Fallbacks int
+	// PooledTime covers the first Stocked draws, OnlineTime the overrun.
+	PooledTime, OnlineTime time.Duration
+}
+
+// PreprocessDrain stocks both §3.3 pools (BitStore and RandomizerPool) with
+// `stock` entries, then performs stock+overrun draws from each, separating
+// the pooled-phase cost from the online-fallback cost. It demonstrates that
+// the pools' OnlineFallbacks counters observe exactly the overrun — the
+// signal that a §3.3 experiment exhausted its preprocessing.
+func (c Config) PreprocessDrain(stock, overrun int) ([]PreprocRow, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if stock < 0 || overrun < 0 {
+		return nil, fmt.Errorf("bench: negative preprocess drain (%d, %d)", stock, overrun)
+	}
+	_, rawSK, err := c.newKey()
+	if err != nil {
+		return nil, err
+	}
+	pk := rawSK.Public()
+
+	store := paillier.NewBitStore(pk)
+	if err := store.Fill(0, stock); err != nil {
+		return nil, err
+	}
+	drawBits := func(count int) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < count; i++ {
+			if _, err := store.DrawBit(1); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	bitPooled, err := drawBits(stock)
+	if err != nil {
+		return nil, err
+	}
+	bitOnline, err := drawBits(overrun)
+	if err != nil {
+		return nil, err
+	}
+
+	pool := paillier.NewRandomizerPool(pk)
+	if err := pool.Fill(stock); err != nil {
+		return nil, err
+	}
+	one := big.NewInt(1)
+	drawRandomizers := func(count int) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < count; i++ {
+			if _, err := pool.Encrypt(one); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	rndPooled, err := drawRandomizers(stock)
+	if err != nil {
+		return nil, err
+	}
+	rndOnline, err := drawRandomizers(overrun)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := []PreprocRow{
+		{Pool: "bit-store", Stocked: stock, Draws: stock + overrun,
+			Fallbacks: store.OnlineFallbacks(), PooledTime: bitPooled, OnlineTime: bitOnline},
+		{Pool: "randomizer-pool", Stocked: stock, Draws: stock + overrun,
+			Fallbacks: pool.OnlineFallbacks(), PooledTime: rndPooled, OnlineTime: rndOnline},
+	}
+	for _, r := range rows {
+		if r.Fallbacks != overrun {
+			return nil, fmt.Errorf("bench: %s counted %d fallbacks, expected %d", r.Pool, r.Fallbacks, overrun)
+		}
+		c.progressf("preproc %s pooled=%v online=%v fallbacks=%d\n", r.Pool,
+			r.PooledTime.Round(time.Microsecond), r.OnlineTime.Round(time.Microsecond), r.Fallbacks)
+	}
+	return rows, nil
+}
+
 // smallTable and smallSelection build the small-value workload the ElGamal
 // ablation needs (its BSGS decryption bounds the sum).
 func smallTable(n int, seed int64) (*database.Table, error) {

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"time"
+
+	"privstats/internal/mathx"
+	"privstats/internal/paillier"
+)
+
+// The server-fold ablation: the naive ScalarMul+Add loop versus bucket
+// multi-exponentiation (mathx.MultiExp) across chunk sizes and window
+// widths. This is the microbenchmark behind the MultiScalarFolder fast path
+// the selected-sum server takes; results/multiexp.txt records a reference
+// run.
+
+// FoldRow is one variant × chunk-size point of the fold ablation.
+type FoldRow struct {
+	Rows    int
+	Variant string // "naive", "bucket-w<N>", "bucket-auto", "bucket-auto-p<W>"
+	Window  uint   // explicit window width; 0 = auto or not applicable
+	Workers int    // 0 or 1 = sequential
+	Time    time.Duration
+}
+
+// PerRow returns the amortized per-row fold time.
+func (r FoldRow) PerRow() time.Duration {
+	if r.Rows == 0 {
+		return 0
+	}
+	return r.Time / time.Duration(r.Rows)
+}
+
+// FoldAblation times Π ct_i^{x_i} over identical inputs (encrypted index
+// bits, nonzero 32-bit scalars) through every fold variant. Correctness is
+// pinned exactly: the fold is a plain product in Z_{N²}, so every variant
+// must produce the bit-identical group element, not merely the same
+// decryption.
+func (c Config) FoldAblation(chunkSizes []int, windows []uint, workers int) ([]FoldRow, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if len(chunkSizes) == 0 {
+		chunkSizes = []int{256, 1024, 4096}
+	}
+	if len(windows) == 0 {
+		windows = []uint{2, 4, 6, 8}
+	}
+	if workers < 2 {
+		workers = 4
+	}
+	maxN := 0
+	for _, n := range chunkSizes {
+		if n < 1 {
+			return nil, fmt.Errorf("bench: fold chunk size %d must be positive", n)
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	_, rawSK, err := c.newKey()
+	if err != nil {
+		return nil, err
+	}
+	pk := rawSK.Public()
+
+	// One shared workload: index-bit ciphertexts and dense 32-bit scalars
+	// (the server's worst case — no zero rows to skip).
+	rng := rand.New(rand.NewSource(c.Seed))
+	cts := make([]*paillier.Ciphertext, maxN)
+	bases := make([]*big.Int, maxN)
+	exps := make([]uint64, maxN)
+	for i := range cts {
+		ct, err := pk.Encrypt(big.NewInt(int64(i % 2)))
+		if err != nil {
+			return nil, err
+		}
+		cts[i] = ct
+		bases[i] = ct.Value()
+		exps[i] = uint64(rng.Uint32()) | 1
+	}
+
+	var rows []FoldRow
+	scalar := new(big.Int)
+	for _, n := range chunkSizes {
+		start := time.Now()
+		var acc *paillier.Ciphertext
+		for i := 0; i < n; i++ {
+			scalar.SetUint64(exps[i])
+			term, err := pk.ScalarMul(cts[i], scalar)
+			if err != nil {
+				return nil, err
+			}
+			if acc == nil {
+				acc = term
+				continue
+			}
+			if acc, err = pk.Add(acc, term); err != nil {
+				return nil, err
+			}
+		}
+		naive := FoldRow{Rows: n, Variant: "naive", Time: time.Since(start)}
+		rows = append(rows, naive)
+		want := acc.Value()
+
+		check := func(variant string, got *big.Int) error {
+			if got.Cmp(want) != 0 {
+				return fmt.Errorf("bench: fold %s at n=%d produced a different group element", variant, n)
+			}
+			return nil
+		}
+		for _, w := range windows {
+			start = time.Now()
+			got, err := mathx.MultiExp(bases[:n], exps[:n], pk.NSquared, w)
+			d := time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			variant := fmt.Sprintf("bucket-w%d", w)
+			if err := check(variant, got); err != nil {
+				return nil, err
+			}
+			rows = append(rows, FoldRow{Rows: n, Variant: variant, Window: w, Time: d})
+		}
+		start = time.Now()
+		got, err := mathx.MultiExp(bases[:n], exps[:n], pk.NSquared, 0)
+		d := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		if err := check("bucket-auto", got); err != nil {
+			return nil, err
+		}
+		rows = append(rows, FoldRow{Rows: n, Variant: "bucket-auto", Time: d})
+
+		start = time.Now()
+		got, err = mathx.MultiExpParallel(bases[:n], exps[:n], pk.NSquared, 0, workers)
+		d = time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		variant := fmt.Sprintf("bucket-auto-p%d", workers)
+		if err := check(variant, got); err != nil {
+			return nil, err
+		}
+		rows = append(rows, FoldRow{Rows: n, Variant: variant, Workers: workers, Time: d})
+
+		c.progressf("fold n=%d naive=%v bucket=%v parallel=%v\n", n,
+			naive.Time.Round(time.Millisecond),
+			rows[len(rows)-2].Time.Round(time.Millisecond),
+			d.Round(time.Millisecond))
+	}
+	return rows, nil
+}

@@ -43,6 +43,12 @@ func WriteComponentTable(w io.Writer, title string, rows []ComponentRow) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
+	for _, r := range rows {
+		if r.OnlineFallbacks > 0 {
+			fmt.Fprintf(w, "warning: n=%d drew %d index bits via online encryption — preprocessing pool drained, client-encrypt time mixes pooled and online costs\n",
+				r.N, r.OnlineFallbacks)
+		}
+	}
 	_, err := fmt.Fprintln(w)
 	return err
 }
@@ -167,16 +173,84 @@ func WriteScalingTable(w io.Writer, n int, rows []ScalingRow) error {
 	return err
 }
 
+// WriteFoldTable renders the server-fold ablation: per chunk size, every
+// variant's total and per-row time plus its speedup over the naive loop.
+func WriteFoldTable(w io.Writer, rows []FoldRow) error {
+	title := "Server fold ablation: naive ScalarMul+Add vs. bucket multi-exponentiation"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rows\tvariant\ttotal\tper row\tspeedup")
+	naive := map[int]time.Duration{}
+	for _, r := range rows {
+		if r.Variant == "naive" {
+			naive[r.Rows] = r.Time
+		}
+	}
+	for _, r := range rows {
+		speedup := "-"
+		if base, ok := naive[r.Rows]; ok && r.Time > 0 && r.Variant != "naive" {
+			speedup = fmt.Sprintf("%.2fx", float64(base)/float64(r.Time))
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\n",
+			r.Rows, r.Variant, fmtDur(r.Time), fmtDur(r.PerRow()), speedup)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// FoldCSV writes fold-ablation rows as CSV.
+func FoldCSV(w io.Writer, rows []FoldRow) error {
+	if _, err := fmt.Fprintln(w, "rows,variant,window,workers,total_ms,ns_per_row"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%.3f,%.0f\n",
+			r.Rows, r.Variant, r.Window, r.Workers,
+			float64(r.Time)/float64(time.Millisecond), float64(r.PerRow())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePreprocTable renders the preprocessing drain-and-overrun ablation.
+func WritePreprocTable(w io.Writer, rows []PreprocRow) error {
+	title := "Preprocessing pools under overrun (§3.3): pooled vs. online draw cost"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "pool\tstocked\tdraws\tfallbacks\tpooled phase\tonline phase\tper-draw pooled\tper-draw online")
+	for _, r := range rows {
+		perPooled, perOnline := time.Duration(0), time.Duration(0)
+		if r.Stocked > 0 {
+			perPooled = r.PooledTime / time.Duration(r.Stocked)
+		}
+		if r.Fallbacks > 0 {
+			perOnline = r.OnlineTime / time.Duration(r.Fallbacks)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%s\t%s\t%s\n",
+			r.Pool, r.Stocked, r.Draws, r.Fallbacks,
+			fmtDur(r.PooledTime), fmtDur(r.OnlineTime), fmtDur(perPooled), fmtDur(perOnline))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
 // ComponentCSV writes component rows as CSV (for external plotting).
 func ComponentCSV(w io.Writer, rows []ComponentRow) error {
-	if _, err := fmt.Fprintln(w, "n,client_encrypt_ms,server_compute_ms,communication_ms,client_decrypt_ms,total_ms,preprocess_ms,bytes_up,bytes_down"); err != nil {
+	if _, err := fmt.Fprintln(w, "n,client_encrypt_ms,server_compute_ms,communication_ms,client_decrypt_ms,total_ms,preprocess_ms,bytes_up,bytes_down,online_fallbacks"); err != nil {
 		return err
 	}
 	for _, r := range rows {
 		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-		if _, err := fmt.Fprintf(w, "%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%d,%d\n",
 			r.N, ms(r.ClientEncrypt), ms(r.ServerCompute), ms(r.Communication),
-			ms(r.ClientDecrypt), ms(r.Total), ms(r.Preprocess), r.BytesUp, r.BytesDown); err != nil {
+			ms(r.ClientDecrypt), ms(r.Total), ms(r.Preprocess), r.BytesUp, r.BytesDown, r.OnlineFallbacks); err != nil {
 			return err
 		}
 	}

@@ -434,6 +434,11 @@ func (c *Client) backoff(k int) time.Duration {
 	if d > c.cfg.MaxBackoff {
 		d = c.cfg.MaxBackoff
 	}
+	if d <= 0 {
+		// A zero-valued config (constructed without withDefaults) would
+		// make rand.Int63n(0) panic; retry immediately instead.
+		return 0
+	}
 	// Jitter in [0.5d, 1.5d).
 	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }

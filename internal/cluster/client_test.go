@@ -34,6 +34,22 @@ func TestBackoffBounds(t *testing.T) {
 	}
 }
 
+func TestBackoffZeroConfigDoesNotPanic(t *testing.T) {
+	// A Client built without withDefaults (zero Backoff/MaxBackoff) must not
+	// reach rand.Int63n(0), which panics.
+	c := &Client{cfg: ClientConfig{}}
+	for k := 1; k <= 3; k++ {
+		if d := c.backoff(k); d != 0 {
+			t.Fatalf("backoff(%d) with zero config = %v, want 0", k, d)
+		}
+	}
+	// Negative values (misconfiguration) are clamped the same way.
+	c = &Client{cfg: ClientConfig{Backoff: -time.Second, MaxBackoff: time.Second}}
+	if d := c.backoff(1); d != 0 {
+		t.Fatalf("backoff(1) with negative base = %v, want 0", d)
+	}
+}
+
 func TestHealthWindowAndProbe(t *testing.T) {
 	clk := newFakeClock()
 	c := NewClient(ClientConfig{ProbeAfter: time.Second})

@@ -67,6 +67,35 @@ type PrivateKey interface {
 	Decrypt(c Ciphertext) (*big.Int, error)
 }
 
+// MultiScalarFolder is an optional capability: schemes that can compute the
+// server fold Π cts[i]^{ks[i]} = E(Σ ks[i]·m_i) faster than the naive
+// ScalarMul+Add loop implement it (Paillier uses bucket
+// multi-exponentiation, see mathx.MultiExp). The protocol layer type-asserts
+// for it and falls back to the loop when absent, so schemes without a fast
+// path need no changes.
+type MultiScalarFolder interface {
+	// FoldScalarMul returns an encryption of Σ ks[i]·m_i where m_i is the
+	// plaintext of cts[i]. Zero scalars contribute nothing and must be
+	// skipped. workers > 1 may split the fold across goroutines; the result
+	// must be identical at any worker count. If every scalar is zero the
+	// result is a (possibly deterministic) encryption of 0 — callers that
+	// return ciphertexts to untrusted peers must rerandomize, which the
+	// selected-sum protocol already does at finalize.
+	FoldScalarMul(cts []Ciphertext, ks []uint64, workers int) (Ciphertext, error)
+}
+
+// WithoutMultiScalarFold returns pk stripped of the MultiScalarFolder
+// capability (and any other optional capability): the returned key exposes
+// exactly the base PublicKey interface. Tests and benchmarks use it to pin
+// the naive fold as the correctness oracle.
+func WithoutMultiScalarFold(pk PublicKey) PublicKey {
+	return baseKeyOnly{pk}
+}
+
+// baseKeyOnly promotes only the embedded interface's method set, so a type
+// assertion for MultiScalarFolder (or any other capability) fails.
+type baseKeyOnly struct{ PublicKey }
+
 // EncryptorPool is implemented by schemes that can hand out precomputed
 // encryptions of fixed plaintexts — the paper's Section 3.3 preprocessing
 // optimization. Implementations must be safe for concurrent use.

@@ -120,6 +120,41 @@ func (pk *PublicKey) WeightedSum(cts []*Ciphertext, weights []*big.Int) (*Cipher
 	return &Ciphertext{c: acc, byteLen: pk.byteLen}, nil
 }
 
+// FoldScalarMul returns E(Σ ks[i]·m_i) = Π cts[i]^{ks[i]} mod N² via bucket
+// multi-exponentiation (mathx.MultiExp) — the fast form of the server's
+// selected-sum fold. Zero scalars are skipped; workers > 1 splits the fold
+// across goroutines. When every scalar is zero the result is E(0) with unit
+// randomness, the multiplicative identity — fine as a fold accumulator, but
+// callers exposing it to a peer must rerandomize first.
+func (pk *PublicKey) FoldScalarMul(cts []*Ciphertext, ks []uint64, workers int) (*Ciphertext, error) {
+	if len(cts) != len(ks) {
+		return nil, fmt.Errorf("paillier: %d ciphertexts vs %d scalars", len(cts), len(ks))
+	}
+	bases := make([]*big.Int, 0, len(cts))
+	exps := make([]uint64, 0, len(ks))
+	for i, ct := range cts {
+		if err := pk.checkCiphertext(ct); err != nil {
+			return nil, fmt.Errorf("paillier: ciphertext %d: %w", i, err)
+		}
+		if ks[i] == 0 {
+			continue
+		}
+		bases = append(bases, ct.c)
+		exps = append(exps, ks[i])
+	}
+	var acc *big.Int
+	var err error
+	if workers > 1 {
+		acc, err = mathx.MultiExpParallel(bases, exps, pk.NSquared, 0, workers)
+	} else {
+		acc, err = mathx.MultiExp(bases, exps, pk.NSquared, 0)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("paillier: multi-exponentiation: %w", err)
+	}
+	return &Ciphertext{c: acc, byteLen: pk.byteLen}, nil
+}
+
 // ParseCiphertext decodes a fixed-width encoding produced by
 // Ciphertext.Bytes, rejecting out-of-range values.
 func (pk *PublicKey) ParseCiphertext(b []byte) (*Ciphertext, error) {

@@ -27,6 +27,10 @@ type RandomizerPool struct {
 
 	mu    sync.Mutex
 	stock []*big.Int
+
+	// onlineFallbacks counts draws served by an online r^N computation
+	// because the pool ran dry, mirroring BitStore.OnlineFallbacks.
+	onlineFallbacks int
 }
 
 // NewRandomizerPool creates an empty pool for pk.
@@ -73,12 +77,20 @@ func (p *RandomizerPool) Draw() (*big.Int, error) {
 		p.mu.Unlock()
 		return rn, nil
 	}
+	p.onlineFallbacks++
 	p.mu.Unlock()
 	r, err := mathx.RandUnit(rand.Reader, p.pk.N)
 	if err != nil {
 		return nil, err
 	}
 	return new(big.Int).Exp(r, p.pk.N, p.pk.NSquared), nil
+}
+
+// OnlineFallbacks reports how many draws were served by online computation.
+func (p *RandomizerPool) OnlineFallbacks() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.onlineFallbacks
 }
 
 // Encrypt encrypts m using a pooled randomizer when available.

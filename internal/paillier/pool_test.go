@@ -18,6 +18,9 @@ func TestRandomizerPoolEncrypt(t *testing.T) {
 	if pool.Len() != 10 {
 		t.Fatalf("pool len = %d, want 10", pool.Len())
 	}
+	if pool.OnlineFallbacks() != 0 {
+		t.Fatalf("fresh pool fallbacks = %d, want 0", pool.OnlineFallbacks())
+	}
 	for i := int64(0); i < 12; i++ { // 10 pooled + 2 online fallbacks
 		ct, err := pool.Encrypt(big.NewInt(i))
 		if err != nil {
@@ -30,6 +33,9 @@ func TestRandomizerPoolEncrypt(t *testing.T) {
 	}
 	if pool.Len() != 0 {
 		t.Errorf("pool should be drained, has %d", pool.Len())
+	}
+	if pool.OnlineFallbacks() != 2 {
+		t.Errorf("fallbacks = %d, want 2", pool.OnlineFallbacks())
 	}
 }
 

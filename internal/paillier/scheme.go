@@ -18,9 +18,10 @@ type Scheme struct{ PK *PublicKey }
 type SchemeKey struct{ SK *PrivateKey }
 
 var (
-	_ homomorphic.PublicKey  = Scheme{}
-	_ homomorphic.PrivateKey = SchemeKey{}
-	_ homomorphic.Ciphertext = (*Ciphertext)(nil)
+	_ homomorphic.PublicKey         = Scheme{}
+	_ homomorphic.MultiScalarFolder = Scheme{}
+	_ homomorphic.PrivateKey        = SchemeKey{}
+	_ homomorphic.Ciphertext        = (*Ciphertext)(nil)
 )
 
 // SchemeID is the registry name of this cryptosystem.
@@ -63,6 +64,20 @@ func (s Scheme) ScalarMul(c homomorphic.Ciphertext, k *big.Int) (homomorphic.Cip
 		return nil, err
 	}
 	return s.PK.ScalarMul(cc, k)
+}
+
+// FoldScalarMul implements homomorphic.MultiScalarFolder, the optional
+// fast-fold capability the selected-sum server probes for.
+func (s Scheme) FoldScalarMul(cts []homomorphic.Ciphertext, ks []uint64, workers int) (homomorphic.Ciphertext, error) {
+	own := make([]*Ciphertext, len(cts))
+	for i, c := range cts {
+		cc, err := asPaillier(c)
+		if err != nil {
+			return nil, err
+		}
+		own[i] = cc
+	}
+	return s.PK.FoldScalarMul(own, ks, workers)
 }
 
 // Rerandomize implements homomorphic.PublicKey.

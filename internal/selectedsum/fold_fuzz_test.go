@@ -1,0 +1,89 @@
+package selectedsum
+
+import (
+	"math/big"
+	"testing"
+
+	"privstats/internal/database"
+	"privstats/internal/homomorphic"
+)
+
+// FuzzFoldEquivalence is the differential oracle for the server's two fold
+// paths: random workloads must decrypt to the same sum through the naive
+// ScalarMul+Add loop (capability stripped via WithoutMultiScalarFold) and
+// through the bucket multi-exponentiation fold, sequentially and at
+// AbsorbParallel worker counts 2 and 4. Row counts span both sides of
+// foldMinRows so the fuzzer exercises the threshold crossing.
+func FuzzFoldEquivalence(f *testing.F) {
+	f.Add([]byte{3})
+	f.Add([]byte{17, 0xff, 0x00, 0x80, 0x7f})
+	f.Add([]byte{63, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+	f.Add([]byte{16, 0xde, 0xad, 0xbe, 0xef, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			t.Skip()
+		}
+		count := 1 + int(data[0])%(4*foldMinRows)
+		byteAt := func(i int) byte {
+			return data[i%len(data)] ^ byte(i*151) // decorrelate reused bytes
+		}
+		values := make([]uint32, count)
+		sel, err := database.NewSelection(count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := new(big.Int)
+		for i := range values {
+			v := uint32(byteAt(4*i)) | uint32(byteAt(4*i+1))<<8 |
+				uint32(byteAt(4*i+2))<<16 | uint32(byteAt(4*i+3))<<24
+			values[i] = v
+			if byteAt(4*count+i)&1 == 1 {
+				sel.Set(i)
+				want.Add(want, new(big.Int).SetUint64(uint64(v)))
+			}
+		}
+		table := database.New(values)
+		sk := testKey(t)
+		pk := sk.PublicKey()
+		width := pk.CiphertextSize()
+		body, err := EncryptRange(Online{PK: pk}, sel, 0, count, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunk := decodeChunk(t, body, 0, width)
+
+		run := func(key homomorphic.PublicKey, workers int) *big.Int {
+			srv, err := NewColumnSession(key, table.Column(), uint64(count))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if workers > 1 {
+				err = srv.AbsorbParallel(chunk, workers)
+			} else {
+				err = srv.Absorb(chunk)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct, err := srv.Finalize(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := sk.Decrypt(ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+
+		naive := run(homomorphic.WithoutMultiScalarFold(pk), 1)
+		if naive.Cmp(want) != 0 {
+			t.Fatalf("count=%d: naive fold decrypts to %v, direct sum is %v", count, naive, want)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			if got := run(pk, workers); got.Cmp(naive) != 0 {
+				t.Fatalf("count=%d workers=%d: fast fold decrypts to %v, naive to %v", count, workers, got, naive)
+			}
+		}
+	})
+}

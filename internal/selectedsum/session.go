@@ -141,11 +141,27 @@ func NewShardSession(pk homomorphic.PublicKey, col database.Column, vectorLen, r
 	return &ServerSession{pk: pk, values: col, base: rowOffset, next: rowOffset}, nil
 }
 
+// foldMinRows is the chunk size below which the naive ScalarMul loop beats
+// the bucket multi-exponentiation: the bucket fold pays a per-window
+// 2^(w+1)-multiplication overhead that only amortizes across enough rows.
+const foldMinRows = 16
+
 // Absorb folds one index chunk. Chunks must arrive in order and without
 // gaps; each ciphertext is validated before use. The zero-valued rows are
 // skipped: E(I_i)^0 = E(0) contributes nothing, and the server knows x_i,
 // so the skip leaks nothing and saves an exponentiation.
+//
+// When the scheme implements homomorphic.MultiScalarFolder (Paillier does),
+// large chunks take the bucket multi-exponentiation path instead of the
+// per-row ScalarMul+Add loop — same result, a fraction of the modular
+// multiplications. Other schemes fall back to the loop transparently.
 func (s *ServerSession) Absorb(chunk *wire.IndexChunk) error {
+	return s.absorb(chunk, 1)
+}
+
+// absorb is the shared implementation of Absorb (workers == 1) and the
+// fast path of AbsorbParallel.
+func (s *ServerSession) absorb(chunk *wire.IndexChunk, workers int) error {
 	if s.done {
 		return errors.New("selectedsum: absorb after finalize")
 	}
@@ -155,6 +171,9 @@ func (s *ServerSession) Absorb(chunk *wire.IndexChunk) error {
 	count := chunk.Count()
 	if chunk.Offset+uint64(count) > s.base+uint64(s.values.Len()) {
 		return fmt.Errorf("%w: chunk [%d,%d) exceeds rows [%d,%d)", ErrVectorLength, chunk.Offset, chunk.Offset+uint64(count), s.base, s.base+uint64(s.values.Len()))
+	}
+	if folder, ok := s.pk.(homomorphic.MultiScalarFolder); ok && count >= foldMinRows {
+		return s.absorbFold(chunk, folder, workers)
 	}
 	scalar := new(big.Int)
 	for i := 0; i < count; i++ {
@@ -169,7 +188,7 @@ func (s *ServerSession) Absorb(chunk *wire.IndexChunk) error {
 		scalar.SetUint64(x)
 		term, err := s.pk.ScalarMul(ct, scalar)
 		if err != nil {
-			return fmt.Errorf("selectedsum: scaling index %d: %w", int(chunk.Offset)+i, err)
+			return fmt.Errorf("selectedsum: scaling index %d: %w", chunk.Offset+uint64(i), err)
 		}
 		if s.acc == nil {
 			s.acc = term
@@ -177,7 +196,42 @@ func (s *ServerSession) Absorb(chunk *wire.IndexChunk) error {
 		}
 		s.acc, err = s.pk.Add(s.acc, term)
 		if err != nil {
-			return fmt.Errorf("selectedsum: folding index %d: %w", int(chunk.Offset)+i, err)
+			return fmt.Errorf("selectedsum: folding index %d: %w", chunk.Offset+uint64(i), err)
+		}
+	}
+	s.next += uint64(count)
+	return nil
+}
+
+// absorbFold folds one validated chunk through the scheme's fast
+// multi-scalar capability. Every ciphertext is still parsed (and thereby
+// validated) exactly as on the naive path; the folder skips the zero-valued
+// rows itself.
+func (s *ServerSession) absorbFold(chunk *wire.IndexChunk, folder homomorphic.MultiScalarFolder, workers int) error {
+	count := chunk.Count()
+	cts := make([]homomorphic.Ciphertext, count)
+	ks := make([]uint64, count)
+	nonzero := 0
+	for i := 0; i < count; i++ {
+		ct, err := s.pk.ParseCiphertext(chunk.At(i))
+		if err != nil {
+			return fmt.Errorf("selectedsum: chunk ciphertext %d: %w", i, err)
+		}
+		cts[i] = ct
+		if x := s.values.At(int(chunk.Offset-s.base) + i); x != 0 {
+			ks[i] = x
+			nonzero++
+		}
+	}
+	if nonzero > 0 {
+		term, err := folder.FoldScalarMul(cts, ks, workers)
+		if err != nil {
+			return fmt.Errorf("selectedsum: folding chunk [%d,%d): %w", chunk.Offset, chunk.Offset+uint64(count), err)
+		}
+		if s.acc == nil {
+			s.acc = term
+		} else if s.acc, err = s.pk.Add(s.acc, term); err != nil {
+			return fmt.Errorf("selectedsum: folding chunk [%d,%d): %w", chunk.Offset, chunk.Offset+uint64(count), err)
 		}
 	}
 	s.next += uint64(count)
@@ -194,6 +248,12 @@ func (s *ServerSession) AbsorbParallel(chunk *wire.IndexChunk, workers int) erro
 	count := chunk.Count()
 	if workers <= 1 || count < 2*workers {
 		return s.Absorb(chunk)
+	}
+	if _, ok := s.pk.(homomorphic.MultiScalarFolder); ok && count >= foldMinRows {
+		// The fast fold parallelizes inside the multi-exponentiation
+		// (splitting the row range or the window range, whichever is
+		// larger), so the goroutine fan-out below would only add overhead.
+		return s.absorb(chunk, workers)
 	}
 	if s.done {
 		return errors.New("selectedsum: absorb after finalize")
@@ -229,7 +289,7 @@ func (s *ServerSession) AbsorbParallel(chunk *wire.IndexChunk, workers int) erro
 				scalar.SetUint64(x)
 				term, err := s.pk.ScalarMul(ct, scalar)
 				if err != nil {
-					errs[w] = fmt.Errorf("selectedsum: scaling index %d: %w", int(chunk.Offset)+i, err)
+					errs[w] = fmt.Errorf("selectedsum: scaling index %d: %w", chunk.Offset+uint64(i), err)
 					return
 				}
 				if acc == nil {
@@ -238,7 +298,7 @@ func (s *ServerSession) AbsorbParallel(chunk *wire.IndexChunk, workers int) erro
 				}
 				acc, err = s.pk.Add(acc, term)
 				if err != nil {
-					errs[w] = fmt.Errorf("selectedsum: folding index %d: %w", int(chunk.Offset)+i, err)
+					errs[w] = fmt.Errorf("selectedsum: folding index %d: %w", chunk.Offset+uint64(i), err)
 					return
 				}
 			}

@@ -3,9 +3,12 @@ package selectedsum
 import (
 	"errors"
 	"math/big"
+	"strconv"
+	"strings"
 	"testing"
 
 	"privstats/internal/database"
+	"privstats/internal/homomorphic"
 	"privstats/internal/wire"
 )
 
@@ -164,6 +167,71 @@ func TestFinalizeWithBlinding(t *testing.T) {
 	}
 	if got.Int64() != 1_000_040 {
 		t.Errorf("blinded sum = %v, want 1000040", got)
+	}
+}
+
+// scalarMulFailKey delegates to a real key but fails every ScalarMul,
+// forcing the per-row error path. Embedding the interface (not a concrete
+// type) promotes only the base method set, so the session's
+// MultiScalarFolder probe fails and the naive loop runs.
+type scalarMulFailKey struct{ homomorphic.PublicKey }
+
+func (scalarMulFailKey) ScalarMul(homomorphic.Ciphertext, *big.Int) (homomorphic.Ciphertext, error) {
+	return nil, errors.New("forced scalarmul failure")
+}
+
+// addFailKey is scalarMulFailKey's sibling for the Add error path.
+type addFailKey struct{ homomorphic.PublicKey }
+
+func (addFailKey) Add(homomorphic.Ciphertext, homomorphic.Ciphertext) (homomorphic.Ciphertext, error) {
+	return nil, errors.New("forced add failure")
+}
+
+// TestAbsorbErrorReportsGlobalIndex pins the regression where per-row error
+// messages computed the failing row as int(chunk.Offset)+i — truncating on
+// 32-bit platforms and, before that, reporting the chunk-local index. A
+// shard session based beyond 2^33 must report the full global uint64 index.
+func TestAbsorbErrorReportsGlobalIndex(t *testing.T) {
+	sk := testKey(t)
+	pk := sk.PublicKey()
+	const base = uint64(1) << 33
+	table := database.New([]uint32{0, 7, 0, 0, 0, 3, 0, 0})
+	width := pk.CiphertextSize()
+	sel, _ := database.NewSelection(8)
+	body, err := EncryptRange(Online{PK: pk}, sel, 0, 8, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := decodeChunk(t, body, base, width)
+
+	// First nonzero row is i=1, so the failing global index is base+1.
+	wantIdx := strconv.FormatUint(base+1, 10)
+
+	srv, err := NewShardSession(scalarMulFailKey{pk}, table.Column(), 8, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Absorb(chunk); err == nil || !strings.Contains(err.Error(), wantIdx) {
+		t.Errorf("Absorb scaling error %q does not name global index %s", err, wantIdx)
+	}
+
+	srv, err = NewShardSession(scalarMulFailKey{pk}, table.Column(), 8, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AbsorbParallel(chunk, 2); err == nil || !strings.Contains(err.Error(), wantIdx) {
+		t.Errorf("AbsorbParallel scaling error %q does not name global index %s", err, wantIdx)
+	}
+
+	// The Add path fails on the second nonzero row (i=5): the first becomes
+	// the accumulator, the second triggers the fold error.
+	wantIdx = strconv.FormatUint(base+5, 10)
+	srv, err = NewShardSession(addFailKey{pk}, table.Column(), 8, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Absorb(chunk); err == nil || !strings.Contains(err.Error(), wantIdx) {
+		t.Errorf("Absorb folding error %q does not name global index %s", err, wantIdx)
 	}
 }
 
