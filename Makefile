@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet check chaos fuzz-smoke bench-fold cluster-demo
+.PHONY: all build test race fmt vet check chaos fuzz-smoke bench-fold cluster-demo cover
 
 all: build
 
@@ -15,9 +15,11 @@ test:
 	$(GO) test ./...
 
 # Race-detect the packages with real concurrency: the server runtime, the
-# protocol layer it drives, and the cluster fan-out.
+# protocol layer it drives, the cluster fan-out, the fault-injection
+# transport, and the framed wire layer (its Conn carries cross-goroutine
+# meter and trace state).
 race:
-	$(GO) test -race ./internal/server/ ./internal/selectedsum/ ./internal/cluster/
+	$(GO) test -race ./internal/server/ ./internal/selectedsum/ ./internal/cluster/ ./internal/faultnet/ ./internal/wire/
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -52,6 +54,14 @@ fuzz-smoke:
 		$(GO) test -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) ./internal/paillier/; \
 	done; \
 	$(GO) test -fuzz='^FuzzFoldEquivalence$$' -fuzztime=$(FUZZTIME) ./internal/selectedsum/
+
+# Coverage gate: profile ./internal/..., print per-package percentages, and
+# fail if the total drops below the committed floor. The floor is the
+# measured total minus a small slack — raise it as coverage grows, never
+# lower it to make a PR pass.
+COVER_FLOOR ?= 78.0
+cover:
+	@sh scripts/cover.sh $(COVER_FLOOR)
 
 # Server-fold ablation: one bounded pass of the naive-vs-bucket
 # multi-exponentiation benchmark (reference run in results/multiexp.txt).

@@ -35,6 +35,7 @@ import (
 	"privstats/internal/homomorphic"
 	"privstats/internal/paillier"
 	"privstats/internal/selectedsum"
+	"privstats/internal/trace"
 )
 
 func main() {
@@ -53,6 +54,7 @@ func main() {
 	backoff := flag.Duration("backoff", cluster.DefaultBackoff, "base sleep before a retry, doubled each attempt and jittered")
 	dialHedge := flag.Duration("dial-hedge-after", 0, "launch a second dial if the first is still pending after this delay (0 = off)")
 	useCRC := flag.Bool("crc", false, "request CRC32 frame trailers (old servers degrade to plain frames)")
+	traceReq := flag.Bool("trace", false, "tag the session with a trace ID and print it; servers with -trace-ring expose the phases at /traces?id=")
 	flag.Parse()
 
 	if *n <= 0 {
@@ -68,12 +70,12 @@ func main() {
 		DialHedgeAfter: *dialHedge,
 		UseCRC:         *useCRC,
 	}
-	if err := run(*server, *n, *selectFrac, *indices, *seed, *keyPath, *keyBits, *chunk, *preprocess, *storePath, rt); err != nil {
+	if err := run(*server, *n, *selectFrac, *indices, *seed, *keyPath, *keyBits, *chunk, *preprocess, *storePath, rt, *traceReq); err != nil {
 		log.Fatalf("sumclient: %v", err)
 	}
 }
 
-func run(server string, n int, selectFrac float64, indices string, seed int64, keyPath string, keyBits, chunk int, preprocess bool, storePath string, rt cluster.ClientConfig) error {
+func run(server string, n int, selectFrac float64, indices string, seed int64, keyPath string, keyBits, chunk int, preprocess bool, storePath string, rt cluster.ClientConfig, traceReq bool) error {
 	sk, rawSK, err := loadKey(keyPath, keyBits)
 	if err != nil {
 		return err
@@ -109,10 +111,23 @@ func run(server string, n int, selectFrac float64, indices string, seed int64, k
 	backends := splitAddrs(server)
 	client := cluster.NewClient(rt)
 
+	var traceID trace.ID
+	if traceReq {
+		traceID = trace.NewID()
+		fmt.Printf("trace id:     %s\n", traceID)
+	}
+
 	var sum *big.Int
 	var out, in int64
 	start := time.Now()
 	served, err := client.Do(context.Background(), backends, func(s *cluster.Session) error {
+		if traceReq {
+			// Arm the ID on the connection so QueryVector's hello carries
+			// it; the retry runtime may call us on a fresh connection, and
+			// each attempt reuses the same ID — it names the query, not the
+			// connection.
+			s.Conn.SetTraceID(traceID)
+		}
 		got, err := selectedsum.Query(s.Conn, sk, sel, chunk, pool)
 		if err != nil {
 			return err

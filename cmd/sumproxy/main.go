@@ -39,6 +39,7 @@ import (
 	"privstats/internal/cluster"
 	"privstats/internal/metrics"
 	"privstats/internal/server"
+	"privstats/internal/trace"
 
 	// Accepted cryptosystems register themselves with the scheme registry.
 	_ "privstats/internal/crypto/dj"
@@ -101,6 +102,8 @@ func main() {
 	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard fan-out deadline; a shard past it fails the query as shard-unavailable (0 = none)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "re-dispatch a straggling shard to its replica this long after upload completes (0 = off)")
 	useCRC := flag.Bool("crc", false, "request CRC32 frame trailers on backend sessions (old backends degrade to plain frames)")
+	traceRing := flag.Int("trace-ring", 0, "record the last N traced sessions and serve them at /traces on -stats-addr (0 = off)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -stats-addr")
 	flag.Parse()
 
 	shards, client, agg, err := buildAggregator(*shardsSpec, cluster.ClientConfig{
@@ -122,11 +125,16 @@ func main() {
 		}
 		log.Fatal(err)
 	}
+	var recorder *trace.Recorder
+	if *traceRing > 0 {
+		recorder = trace.NewRecorder(*traceRing)
+	}
 	srv, err := server.NewHandler(agg, server.Config{
 		MaxSessions:    *maxSessions,
 		IdleTimeout:    *idleTimeout,
 		SessionTimeout: *sessionTimeout,
 		LogEvery:       *logEvery,
+		Traces:         recorder,
 	})
 	if err != nil {
 		log.Fatalf("sumproxy: %v", err)
@@ -146,11 +154,15 @@ func main() {
 
 	var stats *http.Server
 	if statsLn != nil {
-		mux := http.NewServeMux()
-		mux.Handle("/stats", metrics.ClusterStatsHandler(srv.Metrics(), client.Metrics()))
+		mux := server.StatsMux(server.StatsMuxConfig{
+			Stats:  metrics.ClusterStatsHandler(srv.Metrics(), client.Metrics()),
+			Prom:   metrics.PromHandler(srv.Metrics(), client.Metrics()),
+			Traces: recorder,
+			Pprof:  *pprofFlag,
+		})
 		stats = &http.Server{Handler: mux}
 		go func() {
-			log.Printf("stats endpoint on http://%s/stats", statsLn.Addr())
+			log.Printf("stats endpoint on http://%s/stats (plus /metrics)", statsLn.Addr())
 			if err := stats.Serve(statsLn); err != nil && err != http.ErrServerClosed {
 				log.Printf("sumproxy: stats endpoint: %v", err)
 			}

@@ -33,8 +33,10 @@ import (
 	"time"
 
 	"privstats/internal/database"
+	"privstats/internal/metrics"
 	"privstats/internal/netsim"
 	"privstats/internal/server"
+	"privstats/internal/trace"
 	"privstats/internal/wire"
 
 	// Accepted cryptosystems register themselves with the scheme registry.
@@ -63,6 +65,8 @@ func main() {
 	grace := flag.Duration("grace", 30*time.Second, "drain window for in-flight sessions on SIGINT/SIGTERM")
 	statsAddr := flag.String("stats-addr", "", "serve live metrics as JSON on http://<addr>/stats (empty = off)")
 	logEvery := flag.Duration("log-every", time.Minute, "interval for the periodic metrics log line (0 = off)")
+	traceRing := flag.Int("trace-ring", 0, "record the last N traced sessions and serve them at /traces on -stats-addr (0 = off)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -stats-addr")
 	flag.Parse()
 
 	// Reject a bad throttle name now rather than on every connection —
@@ -89,11 +93,16 @@ func main() {
 		}
 	}
 
+	var recorder *trace.Recorder
+	if *traceRing > 0 {
+		recorder = trace.NewRecorder(*traceRing)
+	}
 	cfg := server.Config{
 		MaxSessions:    *maxSessions,
 		IdleTimeout:    *idleTimeout,
 		SessionTimeout: *sessionTimeout,
 		LogEvery:       *logEvery,
+		Traces:         recorder,
 		WrapConn:       func(c net.Conn) (*wire.Conn, error) { return wrapConn(c, *throttle) },
 	}
 	if *once {
@@ -112,11 +121,15 @@ func main() {
 
 	var stats *http.Server
 	if *statsAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/stats", srv.Metrics().Handler())
+		mux := server.StatsMux(server.StatsMuxConfig{
+			Stats:  srv.Metrics().Handler(),
+			Prom:   metrics.PromHandler(srv.Metrics(), nil),
+			Traces: recorder,
+			Pprof:  *pprofFlag,
+		})
 		stats = &http.Server{Addr: *statsAddr, Handler: mux}
 		go func() {
-			log.Printf("stats endpoint on http://%s/stats", *statsAddr)
+			log.Printf("stats endpoint on http://%s/stats (plus /metrics)", *statsAddr)
 			if err := stats.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("sumserver: stats endpoint: %v", err)
 			}

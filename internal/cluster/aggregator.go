@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"privstats/internal/metrics"
 	"privstats/internal/selectedsum"
 	"privstats/internal/server"
+	"privstats/internal/trace"
 	"privstats/internal/wire"
 )
 
@@ -224,6 +226,17 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 	}
 	width := pk.CiphertextSize()
 
+	// Trace the fan-out under the client's ID (zero = no trace): the
+	// aggregator's trace carries one span per shard dispatch with backend,
+	// attempt, and hedge annotations — the "why was THIS query slow"
+	// record. Only timings and topology are recorded, never ciphertexts.
+	tr := timings.Trace
+	tr.SetID(trace.ID(hello.TraceID))
+	tr.SetRole("aggregator")
+	tr.Annotate("scheme", hello.Scheme)
+	tr.Annotate("rows", strconv.FormatUint(hello.VectorLen, 10))
+	tr.Annotate("shards", strconv.Itoa(a.shards.Len()))
+
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
@@ -239,7 +252,7 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 	for i := range shards {
 		bufs[i] = newShardBuffer()
 		go func(i int) {
-			ct, addr, err := a.queryShard(ctx, shards[i], hello, pk, bufs[i])
+			ct, addr, err := a.queryShard(ctx, i, shards[i], hello, pk, bufs[i], tr)
 			results <- shardResult{i: i, ct: ct, addr: addr, err: err}
 		}(i)
 	}
@@ -250,6 +263,7 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 		cancel()
 	}
 	timings.Hello = time.Since(helloStart)
+	tr.Observe("hello", helloStart, timings.Hello, nil)
 
 	// shardErr labels and classifies a worker failure: an exhausted
 	// candidate list or a blown shard deadline means the shard (not the
@@ -282,6 +296,8 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 
 	total := uint64(a.shards.Rows())
 	var next uint64
+	var splitFirst time.Time
+	chunksSeen := 0
 recvLoop:
 	for {
 		f, err := conn.Recv()
@@ -305,6 +321,10 @@ recvLoop:
 				return fail(err)
 			}
 			splitStart := time.Now()
+			if chunksSeen == 0 {
+				splitFirst = splitStart
+			}
+			chunksSeen++
 			chunk, err := wire.DecodeIndexChunk(f.Payload, width)
 			if err != nil {
 				abortWorkers(errAborted)
@@ -339,6 +359,11 @@ recvLoop:
 			if next != total {
 				abortWorkers(errAborted)
 				return fail(fmt.Errorf("%w: folded %d of %d positions", selectedsum.ErrIncomplete, next, total))
+			}
+			if chunksSeen > 0 {
+				// Split is CPU time only (Recv waits excluded), so a
+				// trace's phase durations sum to at most the wall clock.
+				tr.Observe("split", splitFirst, timings.Absorb, map[string]string{"chunks": strconv.Itoa(chunksSeen)})
 			}
 			break recvLoop
 		case wire.MsgError:
@@ -386,6 +411,7 @@ recvLoop:
 		return fail(fmt.Errorf("cluster: rerandomizing total: %w", err))
 	}
 	timings.Finalize = time.Since(finStart)
+	tr.Observe("combine", finStart, timings.Finalize, nil)
 	a.m.CombineNanos.ObserveDuration(timings.Finalize)
 	if err := conn.Send(wire.MsgSum, reply.Bytes()); err != nil {
 		return fmt.Errorf("cluster: sending sum: %w", err)
@@ -399,14 +425,14 @@ recvLoop:
 // if the primary is still silent HedgeAfter past upload completion. The
 // shard buffer retains everything and hands out chunks by index, so two
 // dispatches can replay it concurrently.
-func (a *Aggregator) queryShard(ctx context.Context, s Shard, clientHello *wire.Hello, pk homomorphic.PublicKey, buf *shardBuffer) (homomorphic.Ciphertext, string, error) {
+func (a *Aggregator) queryShard(ctx context.Context, idx int, s Shard, clientHello *wire.Hello, pk homomorphic.PublicKey, buf *shardBuffer, tr *trace.Trace) (homomorphic.Ciphertext, string, error) {
 	if a.cfg.ShardTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, a.cfg.ShardTimeout)
 		defer cancel()
 	}
 	if a.cfg.HedgeAfter <= 0 || len(s.Backends) < 2 {
-		return a.dispatchShard(ctx, s, s.Backends, clientHello, pk, buf)
+		return a.dispatchShard(ctx, idx, s, s.Backends, clientHello, pk, buf, tr, false)
 	}
 
 	rctx, rcancel := context.WithCancel(ctx)
@@ -419,7 +445,7 @@ func (a *Aggregator) queryShard(ctx context.Context, s Shard, clientHello *wire.
 	}
 	outc := make(chan outcome, 2)
 	launch := func(backends []string, hedge bool) {
-		ct, addr, err := a.dispatchShard(rctx, s, backends, clientHello, pk, buf)
+		ct, addr, err := a.dispatchShard(rctx, idx, s, backends, clientHello, pk, buf, tr, hedge)
 		outc <- outcome{ct, addr, err, hedge}
 	}
 	go launch(s.Backends, false)
@@ -481,10 +507,13 @@ func (a *Aggregator) queryShard(ctx context.Context, s Shard, clientHello *wire.
 // the start; on the first attempt the buffer is still filling, so the
 // replay degenerates into streaming through — pipelined with the client
 // upload.
-func (a *Aggregator) dispatchShard(ctx context.Context, s Shard, backends []string, clientHello *wire.Hello, pk homomorphic.PublicKey, buf *shardBuffer) (homomorphic.Ciphertext, string, error) {
+func (a *Aggregator) dispatchShard(ctx context.Context, idx int, s Shard, backends []string, clientHello *wire.Hello, pk homomorphic.PublicKey, buf *shardBuffer, tr *trace.Trace, hedge bool) (homomorphic.Ciphertext, string, error) {
 	width := pk.CiphertextSize()
 	var partial homomorphic.Ciphertext
-	addr, err := a.client.Do(ctx, backends, func(sess *Session) error {
+	dispatchStart := time.Now()
+	var uploadDur, replyDur time.Duration
+	addr, st, err := a.client.DoStats(ctx, backends, func(sess *Session) error {
+		attemptStart := time.Now()
 		hello := wire.Hello{
 			Version:   wire.Version,
 			Scheme:    clientHello.Scheme,
@@ -492,6 +521,7 @@ func (a *Aggregator) dispatchShard(ctx context.Context, s Shard, backends []stri
 			VectorLen: uint64(s.Rows()),
 			ChunkLen:  clientHello.ChunkLen,
 			RowOffset: uint64(s.Lo),
+			TraceID:   clientHello.TraceID,
 		}
 		if sess.Conn.CRCEnabled() {
 			// Ask the backend to trail its partial sum with a CRC too:
@@ -554,7 +584,9 @@ func (a *Aggregator) dispatchShard(ctx context.Context, s Shard, backends []stri
 		if err := sess.Conn.Send(wire.MsgDone, nil); err != nil {
 			return err
 		}
+		uploadDur = time.Since(attemptStart)
 		r := <-respc
+		replyDur = time.Since(attemptStart) - uploadDur
 		if r.err != nil {
 			return fmt.Errorf("cluster: reading partial sum: %w", r.err)
 		}
@@ -575,6 +607,38 @@ func (a *Aggregator) dispatchShard(ctx context.Context, s Shard, backends []stri
 			return fmt.Errorf("cluster: expected partial sum, got message type %#x", byte(r.f.Type))
 		}
 	})
+
+	// One span per dispatch (a hedged shard gets two), annotated with the
+	// retry/failover story. The durations come from the LAST attempt, the
+	// one whose outcome this span reports. Shard spans run concurrently, so
+	// they deliberately do NOT participate in the phase-sum invariant.
+	attrs := map[string]string{
+		"shard":    strconv.Itoa(idx),
+		"attempts": strconv.Itoa(st.Attempts),
+	}
+	if addr != "" {
+		attrs["backend"] = addr
+	}
+	if st.Retries > 0 {
+		attrs["retries"] = strconv.Itoa(st.Retries)
+	}
+	if st.Failovers > 0 {
+		attrs["failovers"] = strconv.Itoa(st.Failovers)
+	}
+	if hedge {
+		attrs["hedge"] = "true"
+	}
+	if uploadDur > 0 {
+		attrs["upload_ns"] = strconv.FormatInt(int64(uploadDur), 10)
+	}
+	if replyDur > 0 {
+		attrs["reply_ns"] = strconv.FormatInt(int64(replyDur), 10)
+	}
+	if err != nil {
+		attrs["error"] = err.Error()
+	}
+	tr.Observe("shard"+strconv.Itoa(idx), dispatchStart, time.Since(dispatchStart), attrs)
+
 	if err != nil {
 		return nil, "", err
 	}

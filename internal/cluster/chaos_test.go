@@ -5,13 +5,13 @@ import (
 	"errors"
 	"math/big"
 	"net"
-	"runtime"
 	"testing"
 	"time"
 
 	"privstats/internal/database"
 	"privstats/internal/faultnet"
 	"privstats/internal/server"
+	"privstats/internal/testutil"
 	"privstats/internal/wire"
 )
 
@@ -23,31 +23,6 @@ import (
 // the injectors' accounting reconciles, and nothing leaks goroutines.
 //
 // All plans are seeded, so a failing run reproduces with the same seed.
-
-// guardGoroutines snapshots the goroutine count and, after every cleanup
-// registered later (servers, listeners) has run, polls until the count
-// settles back to the baseline. Register it FIRST: t.Cleanup is LIFO.
-func guardGoroutines(t *testing.T) {
-	t.Helper()
-	before := runtime.NumGoroutine()
-	t.Cleanup(func() {
-		deadline := time.Now().Add(5 * time.Second)
-		var now int
-		for {
-			now = runtime.NumGoroutine()
-			if now <= before+2 { // scheduler/netpoll jitter tolerance
-				return
-			}
-			if time.Now().After(deadline) {
-				break
-			}
-			time.Sleep(20 * time.Millisecond)
-		}
-		buf := make([]byte, 1<<16)
-		n := runtime.Stack(buf, true)
-		t.Errorf("goroutine leak: %d before, %d after settle window\n%s", before, now, buf[:n])
-	})
-}
 
 // classified reports whether err is one of the typed verdicts the failure
 // model promises: a coded peer error, a retry-exhaustion report, or a
@@ -238,7 +213,7 @@ func chaosOuterConfig() ClientConfig {
 // connection reset at a random operation. Every query must still resolve
 // to the oracle sum (via retry/failover) or a classified error.
 func TestChaosResets(t *testing.T) {
-	guardGoroutines(t)
+	testutil.GuardGoroutines(t)
 	table, _, _ := chaosFixture(t)
 	plan := func(shard, rep int) faultnet.Plan {
 		return faultnet.Plan{
@@ -265,7 +240,7 @@ func TestChaosResets(t *testing.T) {
 // surface as a wrong sum — CRC converts it to a classified retryable
 // error, and the retry produces the oracle sum.
 func TestChaosCorruptionCRC(t *testing.T) {
-	guardGoroutines(t)
+	testutil.GuardGoroutines(t)
 	table, _, _ := chaosFixture(t)
 	plan := func(shard, rep int) faultnet.Plan {
 		return faultnet.Plan{
@@ -294,7 +269,7 @@ func TestChaosCorruptionCRC(t *testing.T) {
 // the exact oracle sum; the remainder must fail classified; zero wrong or
 // partial sums (runChaosQueries enforces that unconditionally).
 func TestChaosStragglersAcceptance(t *testing.T) {
-	guardGoroutines(t)
+	testutil.GuardGoroutines(t)
 	table, _, _ := chaosFixture(t)
 	plan := func(shard, rep int) faultnet.Plan {
 		p := faultnet.Plan{
@@ -347,7 +322,7 @@ func TestChaosStragglersAcceptance(t *testing.T) {
 // bytes — mid-frame. The fan-out client must classify the truncation as
 // retryable and the replayed session must produce the oracle sum.
 func TestChaosMidFrameKill(t *testing.T) {
-	guardGoroutines(t)
+	testutil.GuardGoroutines(t)
 	table, _, _ := chaosFixture(t)
 	clean := func(shard, rep int) faultnet.Plan { return faultnet.Plan{Seed: int64(100 + shard + rep)} }
 	cc := startChaosCluster(t, table, 1, 1, clean, chaosFanoutConfig(), AggregatorConfig{})
@@ -367,7 +342,7 @@ func TestChaosMidFrameKill(t *testing.T) {
 // faultnet.Dialer that refuses 10% of dials: refusals must convert to
 // retries/failovers, never to wrong answers or unclassified errors.
 func TestChaosDialRefusals(t *testing.T) {
-	guardGoroutines(t)
+	testutil.GuardGoroutines(t)
 	table, _, _ := chaosFixture(t)
 	clean := func(shard, rep int) faultnet.Plan { return faultnet.Plan{Seed: int64(200 + shard + rep)} }
 	d := &faultnet.Dialer{Plan: faultnet.Plan{Seed: 77, Refuse: 0.10}}

@@ -443,13 +443,32 @@ func (c *Client) backoff(k int) time.Duration {
 	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
+// DoStats reports how hard one Do call had to work — the per-request
+// counterpart of the aggregate ClusterMetrics, recorded into request
+// traces so a slow query can be attributed to its retries.
+type DoStats struct {
+	// Attempts is the total number of attempts made (1 = first try won).
+	Attempts int
+	// Retries counts re-attempts against the same backend.
+	Retries int
+	// Failovers counts switches to a different candidate backend.
+	Failovers int
+}
+
 // Do runs fn against the candidate backends (primary first) with bounded
 // retry, backoff, and failover. fn receives a fresh session and must
 // complete one protocol exchange on it; Do closes the session afterwards.
 // It returns the address that served the successful attempt.
 func (c *Client) Do(ctx context.Context, backends []string, fn func(s *Session) error) (string, error) {
+	addr, _, err := c.DoStats(ctx, backends, fn)
+	return addr, err
+}
+
+// DoStats is Do, additionally reporting the per-call attempt accounting.
+func (c *Client) DoStats(ctx context.Context, backends []string, fn func(s *Session) error) (string, DoStats, error) {
+	var st DoStats
 	if len(backends) == 0 {
-		return "", errors.New("cluster: no backends to try")
+		return "", st, errors.New("cluster: no backends to try")
 	}
 	attempts := c.cfg.Retries + 1
 	if attempts < 1 {
@@ -460,32 +479,35 @@ func (c *Client) Do(ctx context.Context, backends []string, fn func(s *Session) 
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			if err := c.sleep(ctx, c.backoff(attempt)); err != nil {
-				return "", err
+				return "", st, err
 			}
 		}
 		addr := c.pick(backends)
 		if attempt > 0 {
 			if addr == lastAddr {
 				c.m.Retries.Inc()
+				st.Retries++
 			} else {
 				c.m.Failovers.Inc()
+				st.Failovers++
 			}
 		}
 		lastAddr = addr
+		st.Attempts++
 		err := c.attempt(ctx, addr, fn)
 		if err == nil {
-			return addr, nil
+			return addr, st, nil
 		}
 		lastErr = fmt.Errorf("backend %s: %w", addr, err)
 		if !retryable(err) {
-			return "", lastErr
+			return "", st, lastErr
 		}
 		if ctx.Err() != nil {
-			return "", ctx.Err()
+			return "", st, ctx.Err()
 		}
 	}
 	c.m.ShardFailures.Inc()
-	return "", &ExhaustedError{Attempts: attempts, Last: lastErr}
+	return "", st, &ExhaustedError{Attempts: attempts, Last: lastErr}
 }
 
 // attempt runs one dial + fn cycle against addr with metrics and health

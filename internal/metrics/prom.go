@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Prometheus text exposition (format version 0.0.4), hand-rendered from the
+// same atomic counters the JSON /stats document reads — the ROADMAP's
+// no-external-dependency rule covers the metrics pipeline too. The metric
+// names, types, and HELP strings below are a compatibility surface: dashboards
+// and alerts key on them, so the golden-file test pins the exact rendering and
+// any drift fails CI.
+
+// PromContentType is the Content-Type of the 0.0.4 text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Buckets returns the raw power-of-two buckets with the total count and sum,
+// for renderers that need the distribution rather than the interpolated
+// quantile summary. Bucket 0 holds exactly the zero observations; bucket i>0
+// holds v in [2^(i-1), 2^i).
+func (h *Histogram) Buckets() (buckets [histBuckets]int64, count, sum int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.buckets, h.count, h.sum
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promFloat renders a float the way Prometheus clients do: shortest exact
+// representation, no exponent padding.
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// writePromHist renders one histogram series under name with the given label
+// prefix (either empty or `k="v",`). The native power-of-two nanosecond
+// buckets become cumulative le bounds in seconds: bucket i (values < 2^i ns)
+// maps to le = 2^i / 1e9. Only buckets up to the highest populated one are
+// emitted, then +Inf — empty histograms render as a bare +Inf/count/sum.
+func writePromHist(b *bytes.Buffer, name, labels string, h *Histogram) {
+	buckets, count, sum := h.Buckets()
+	hi := -1
+	for i, n := range buckets {
+		if n > 0 {
+			hi = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= hi; i++ {
+		cum += buckets[i]
+		le := math.Exp2(float64(i)) / 1e9
+		fmt.Fprintf(b, "%s_bucket{%sle=\"%s\"} %d\n", name, labels, promFloat(le), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, count)
+	trim := strings.TrimSuffix(labels, ",")
+	if trim != "" {
+		trim = "{" + trim + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, trim, promFloat(float64(sum)/1e9))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, trim, count)
+}
+
+func promHeader(b *bytes.Buffer, name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// WriteProm renders the server runtime's metrics in exposition format. The
+// values are read from the same atomics as Snapshot, so /metrics and /stats
+// agree up to scrape timing.
+func WriteProm(w io.Writer, m *ServerMetrics, now time.Time) error {
+	var b bytes.Buffer
+
+	promHeader(&b, "privstats_uptime_seconds", "gauge", "Seconds since the server runtime started.")
+	var up float64
+	if since := m.since.Load(); since != 0 {
+		up = now.Sub(time.Unix(0, since)).Seconds()
+	}
+	fmt.Fprintf(&b, "privstats_uptime_seconds %s\n", promFloat(up))
+
+	promHeader(&b, "privstats_sessions_total", "counter", "Sessions by terminal state; started = completed + failed + active.")
+	fmt.Fprintf(&b, "privstats_sessions_total{state=\"started\"} %d\n", m.SessionsStarted.Value())
+	fmt.Fprintf(&b, "privstats_sessions_total{state=\"completed\"} %d\n", m.SessionsCompleted.Value())
+	fmt.Fprintf(&b, "privstats_sessions_total{state=\"failed\"} %d\n", m.SessionsFailed.Value())
+	fmt.Fprintf(&b, "privstats_sessions_total{state=\"rejected\"} %d\n", m.SessionsRejected.Value())
+
+	promHeader(&b, "privstats_active_sessions", "gauge", "Sessions currently in flight.")
+	fmt.Fprintf(&b, "privstats_active_sessions %d\n", m.ActiveSessions.Value())
+	promHeader(&b, "privstats_active_sessions_peak", "gauge", "High-water mark of concurrent sessions.")
+	fmt.Fprintf(&b, "privstats_active_sessions_peak %d\n", m.ActiveSessions.Max())
+
+	promHeader(&b, "privstats_transport_bytes_total", "counter", "Wire bytes over finished sessions, by direction.")
+	fmt.Fprintf(&b, "privstats_transport_bytes_total{direction=\"in\"} %d\n", m.BytesIn.Value())
+	fmt.Fprintf(&b, "privstats_transport_bytes_total{direction=\"out\"} %d\n", m.BytesOut.Value())
+
+	promHeader(&b, "privstats_accept_errors_total", "counter", "Transient accept failures survived via backoff.")
+	fmt.Fprintf(&b, "privstats_accept_errors_total %d\n", m.AcceptErrors.Value())
+	promHeader(&b, "privstats_session_panics_total", "counter", "Sessions that panicked (isolated, counted failed).")
+	fmt.Fprintf(&b, "privstats_session_panics_total %d\n", m.SessionPanics.Value())
+
+	promHeader(&b, "privstats_phase_seconds", "histogram", "Server-side compute time per protocol phase.")
+	for _, p := range []struct {
+		name string
+		h    *Histogram
+	}{
+		{"hello", &m.HelloNanos},
+		{"absorb", &m.AbsorbNanos},
+		{"finalize", &m.FinalizeNanos},
+		{"session", &m.SessionNanos},
+	} {
+		writePromHist(&b, "privstats_phase_seconds", `phase="`+p.name+`",`, p.h)
+	}
+
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// WritePromCluster renders the cluster fan-out metrics in exposition format,
+// appended after WriteProm on a cluster daemon's /metrics.
+func WritePromCluster(w io.Writer, m *ClusterMetrics) error {
+	var b bytes.Buffer
+
+	for _, c := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"privstats_cluster_queries_total", "Logical fan-out queries.", m.Queries.Value()},
+		{"privstats_cluster_retries_total", "Extra attempts on the same backend after a failure.", m.Retries.Value()},
+		{"privstats_cluster_failovers_total", "Switches to a replica backend of the same shard.", m.Failovers.Value()},
+		{"privstats_cluster_shard_failures_total", "Shards that exhausted every candidate backend.", m.ShardFailures.Value()},
+		{"privstats_cluster_hedged_dials_total", "Secondary dials launched past the dial hedge delay.", m.HedgedDials.Value()},
+		{"privstats_cluster_shard_hedges_total", "Hedged shard re-dispatches against stragglers.", m.ShardHedges.Value()},
+		{"privstats_cluster_shard_hedge_wins_total", "Shard hedges that delivered the partial sum first.", m.ShardHedgeWins.Value()},
+		{"privstats_cluster_corrupt_frames_total", "Frame CRC failures observed or reported by peers.", m.CorruptFrames.Value()},
+	} {
+		promHeader(&b, c.name, "counter", c.help)
+		fmt.Fprintf(&b, "%s %d\n", c.name, c.v)
+	}
+
+	promHeader(&b, "privstats_cluster_combine_seconds", "histogram", "Homomorphic combine + rerandomize time per query.")
+	writePromHist(&b, "privstats_cluster_combine_seconds", "", &m.CombineNanos)
+
+	m.mu.Lock()
+	addrs := make([]string, 0, len(m.backends))
+	for a := range m.backends {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	buckets := make([]*BackendMetrics, len(addrs))
+	for i, a := range addrs {
+		buckets[i] = m.backends[a]
+	}
+	m.mu.Unlock()
+
+	if len(addrs) > 0 {
+		promHeader(&b, "privstats_cluster_backend_sessions_total", "counter", "Shard sessions attempted per backend.")
+		for i, a := range addrs {
+			fmt.Fprintf(&b, "privstats_cluster_backend_sessions_total{backend=\"%s\"} %d\n", promEscape(a), buckets[i].Sessions.Value())
+		}
+		promHeader(&b, "privstats_cluster_backend_errors_total", "counter", "Failed shard attempts per backend.")
+		for i, a := range addrs {
+			fmt.Fprintf(&b, "privstats_cluster_backend_errors_total{backend=\"%s\"} %d\n", promEscape(a), buckets[i].Errors.Value())
+		}
+		promHeader(&b, "privstats_cluster_backend_busy_total", "counter", "Busy (admission-control) rejections per backend.")
+		for i, a := range addrs {
+			fmt.Fprintf(&b, "privstats_cluster_backend_busy_total{backend=\"%s\"} %d\n", promEscape(a), buckets[i].Busy.Value())
+		}
+		promHeader(&b, "privstats_cluster_backend_fanout_seconds", "histogram", "Complete shard session latency per backend, successes only.")
+		for i, a := range addrs {
+			writePromHist(&b, "privstats_cluster_backend_fanout_seconds", `backend="`+promEscape(a)+`",`, &buckets[i].FanoutNanos)
+		}
+	}
+
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// PromHandler serves /metrics: the server families, then — when cm is
+// non-nil — the cluster families. Mounted next to the JSON /stats handler.
+func PromHandler(sm *ServerMetrics, cm *ClusterMetrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		var b bytes.Buffer
+		_ = WriteProm(&b, sm, time.Now())
+		if cm != nil {
+			_ = WritePromCluster(&b, cm)
+		}
+		_, _ = w.Write(b.Bytes())
+	})
+}

@@ -1,0 +1,243 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"privstats/internal/testutil"
+)
+
+// promFixture builds metrics with fully deterministic contents: fixed
+// counters, fixed histogram observations, and a pinned clock. Everything the
+// exposition renders is a pure function of this fixture, which is what makes
+// the golden file stable.
+func promFixture() (*ServerMetrics, *ClusterMetrics, time.Time) {
+	t0 := time.Unix(1700000000, 0)
+	sm := &ServerMetrics{}
+	sm.StartClock(t0)
+	sm.SessionsStarted.Add(7)
+	sm.SessionsCompleted.Add(5)
+	sm.SessionsFailed.Add(1)
+	sm.SessionsRejected.Add(2)
+	sm.ActiveSessions.Inc() // active 1, peak 1
+	sm.BytesIn.Add(4096)
+	sm.BytesOut.Add(512)
+	sm.AcceptErrors.Add(3)
+	sm.SessionPanics.Add(1)
+	for _, ns := range []int64{1000, 2000, 150000} {
+		sm.HelloNanos.Observe(ns)
+	}
+	sm.AbsorbNanos.Observe(5_000_000)
+	sm.FinalizeNanos.Observe(0) // bucket 0: the exactly-zero bucket
+	// SessionNanos left empty on purpose: renders as bare +Inf/sum/count.
+
+	cm := &ClusterMetrics{}
+	cm.Queries.Add(4)
+	cm.Retries.Add(2)
+	cm.Failovers.Inc()
+	cm.ShardFailures.Inc()
+	cm.HedgedDials.Add(3)
+	cm.ShardHedges.Add(2)
+	cm.ShardHedgeWins.Inc()
+	cm.CorruptFrames.Add(5)
+	cm.CombineNanos.Observe(250_000)
+	b1 := cm.Backend("127.0.0.1:9001")
+	b1.Sessions.Add(6)
+	b1.Errors.Add(2)
+	b1.Busy.Inc()
+	b1.FanoutNanos.Observe(3_000_000)
+	b2 := cm.Backend(`weird"addr\with spaces`)
+	b2.Sessions.Inc()
+
+	return sm, cm, t0.Add(90 * time.Second)
+}
+
+func renderProm(t *testing.T, sm *ServerMetrics, cm *ClusterMetrics, now time.Time) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := WriteProm(&b, sm, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePromCluster(&b, cm); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestPromGolden pins the exact exposition bytes: metric names, types, HELP
+// strings, label escaping, bucket bounds. These are a compatibility surface
+// for dashboards and alerts — if a rename or format change is intentional,
+// regenerate with UPDATE_GOLDEN=1 and review the diff like an API change.
+func TestPromGolden(t *testing.T) {
+	sm, cm, now := promFixture()
+	got := renderProm(t, sm, cm, now)
+
+	path := filepath.Join("testdata", "metrics.prom")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file.\nIf intentional: UPDATE_GOLDEN=1 go test ./internal/metrics/ and review the diff.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPromRoundTrip re-reads the rendered text through the shared parser and
+// checks every value against the atomic counters it came from — the other
+// half of the format contract: what we write must be machine-readable and
+// numerically faithful.
+func TestPromRoundTrip(t *testing.T) {
+	sm, cm, now := promFixture()
+	vals, err := testutil.ParseProm(renderProm(t, sm, cm, now))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checks := map[string]float64{
+		"privstats_uptime_seconds":                                                     90,
+		`privstats_sessions_total{state="started"}`:                                    float64(sm.SessionsStarted.Value()),
+		`privstats_sessions_total{state="completed"}`:                                  float64(sm.SessionsCompleted.Value()),
+		`privstats_sessions_total{state="failed"}`:                                     float64(sm.SessionsFailed.Value()),
+		`privstats_sessions_total{state="rejected"}`:                                   float64(sm.SessionsRejected.Value()),
+		"privstats_active_sessions":                                                    float64(sm.ActiveSessions.Value()),
+		"privstats_active_sessions_peak":                                               float64(sm.ActiveSessions.Max()),
+		`privstats_transport_bytes_total{direction="in"}`:                              float64(sm.BytesIn.Value()),
+		`privstats_transport_bytes_total{direction="out"}`:                             float64(sm.BytesOut.Value()),
+		"privstats_accept_errors_total":                                                float64(sm.AcceptErrors.Value()),
+		"privstats_session_panics_total":                                               float64(sm.SessionPanics.Value()),
+		"privstats_cluster_queries_total":                                              float64(cm.Queries.Value()),
+		"privstats_cluster_retries_total":                                              float64(cm.Retries.Value()),
+		"privstats_cluster_failovers_total":                                            float64(cm.Failovers.Value()),
+		"privstats_cluster_shard_failures_total":                                       float64(cm.ShardFailures.Value()),
+		"privstats_cluster_hedged_dials_total":                                         float64(cm.HedgedDials.Value()),
+		"privstats_cluster_shard_hedges_total":                                         float64(cm.ShardHedges.Value()),
+		"privstats_cluster_shard_hedge_wins_total":                                     float64(cm.ShardHedgeWins.Value()),
+		"privstats_cluster_corrupt_frames_total":                                       float64(cm.CorruptFrames.Value()),
+		`privstats_cluster_backend_sessions_total{backend="127.0.0.1:9001"}`:           6,
+		`privstats_cluster_backend_errors_total{backend="127.0.0.1:9001"}`:             2,
+		`privstats_cluster_backend_busy_total{backend="127.0.0.1:9001"}`:               1,
+		`privstats_cluster_backend_sessions_total{backend="weird\"addr\\with spaces"}`: 1,
+	}
+	for k, want := range checks {
+		got, ok := vals[k]
+		if !ok {
+			t.Errorf("series %q missing from exposition", k)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", k, got, want)
+		}
+	}
+
+	// Histogram invariants per phase: _count matches the source histogram,
+	// _sum is the nanosecond sum in seconds, buckets are cumulative and
+	// monotone, and the +Inf bucket equals _count.
+	for name, h := range map[string]*Histogram{
+		`privstats_phase_seconds@phase="hello"`:    &sm.HelloNanos,
+		`privstats_phase_seconds@phase="absorb"`:   &sm.AbsorbNanos,
+		`privstats_phase_seconds@phase="finalize"`: &sm.FinalizeNanos,
+		`privstats_phase_seconds@phase="session"`:  &sm.SessionNanos,
+		`privstats_cluster_combine_seconds@`:       &cm.CombineNanos,
+	} {
+		fam, label, _ := strings.Cut(name, "@")
+		_, count, sum := h.Buckets()
+		sep := ""
+		if label != "" {
+			sep = ","
+		}
+		countKey := fam + "_count"
+		sumKey := fam + "_sum"
+		infKey := fmt.Sprintf("%s_bucket{%sle=\"+Inf\"}", fam, label+sep)
+		if label != "" {
+			countKey = fam + "_count{" + label + "}"
+			sumKey = fam + "_sum{" + label + "}"
+		}
+		if got := vals[countKey]; got != float64(count) {
+			t.Errorf("%s = %v, want %d", countKey, got, count)
+		}
+		if got := vals[sumKey]; got != float64(sum)/1e9 {
+			t.Errorf("%s = %v, want %v", sumKey, got, float64(sum)/1e9)
+		}
+		if got := vals[infKey]; got != float64(count) {
+			t.Errorf("%s = %v, want %d", infKey, got, count)
+		}
+		// Cumulative monotonicity across the le series.
+		type bucket struct {
+			le  string
+			val float64
+		}
+		var series []bucket
+		prefix := fam + "_bucket{" + label + sep + "le=\""
+		for k, v := range vals {
+			if strings.HasPrefix(k, prefix) && !strings.Contains(k, "+Inf") {
+				series = append(series, bucket{strings.TrimSuffix(strings.TrimPrefix(k, prefix), "\"}"), v})
+			}
+		}
+		sort.Slice(series, func(i, j int) bool { return parseLe(t, series[i].le) < parseLe(t, series[j].le) })
+		last := float64(-1)
+		for _, bk := range series {
+			if bk.val < last {
+				t.Errorf("%s buckets not cumulative at le=%s: %v < %v", fam, bk.le, bk.val, last)
+			}
+			last = bk.val
+		}
+		if last > float64(count) {
+			t.Errorf("%s last finite bucket %v exceeds count %d", fam, last, count)
+		}
+	}
+}
+
+func parseLe(t *testing.T, s string) float64 {
+	t.Helper()
+	var f float64
+	if _, err := fmt.Sscanf(s, "%g", &f); err != nil {
+		t.Fatalf("bad le bound %q: %v", s, err)
+	}
+	return f
+}
+
+// TestPromHandler checks the mounted endpoint: content type and that the body
+// parses. The nil-cluster form is what a plain backend mounts.
+func TestPromHandler(t *testing.T) {
+	sm, cm, _ := promFixture()
+	for _, tc := range []struct {
+		name string
+		cm   *ClusterMetrics
+	}{{"server-only", nil}, {"with-cluster", cm}} {
+		t.Run(tc.name, func(t *testing.T) {
+			rr := httptest.NewRecorder()
+			PromHandler(sm, tc.cm).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+			if ct := rr.Header().Get("Content-Type"); ct != PromContentType {
+				t.Errorf("Content-Type = %q, want %q", ct, PromContentType)
+			}
+			body, _ := io.ReadAll(rr.Body)
+			vals, err := testutil.ParseProm(string(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := vals[`privstats_sessions_total{state="started"}`]; !ok {
+				t.Error("server families missing")
+			}
+			_, hasCluster := vals["privstats_cluster_queries_total"]
+			if hasCluster != (tc.cm != nil) {
+				t.Errorf("cluster families present=%v, want %v", hasCluster, tc.cm != nil)
+			}
+		})
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"strconv"
 	"time"
 
 	"privstats/internal/database"
 	"privstats/internal/homomorphic"
+	"privstats/internal/trace"
 	"privstats/internal/wire"
 )
 
@@ -31,6 +33,12 @@ type PhaseTimings struct {
 	Absorb time.Duration
 	// Finalize is the final rerandomization plus encoding the response.
 	Finalize time.Duration
+
+	// Trace, when non-nil, receives the same phases as spans plus the
+	// trace ID parsed from the Hello. The server runtime allocates it when
+	// a trace recorder is configured; handlers record into it
+	// unconditionally (all trace methods are nil-safe).
+	Trace *trace.Trace
 }
 
 // Serve answers exactly one selected-sum session on conn: it reads the
@@ -116,6 +124,22 @@ func ServeTimed(conn *wire.Conn, table *database.Table, timings *PhaseTimings) e
 	}
 	timings.Hello = time.Since(helloStart)
 
+	// Trace recording: the ID arrives in the hello trailer (zero = no
+	// trace requested, and the recorder drops ID-less traces). Only
+	// timings, counts, and topology are recorded — never chunk contents,
+	// the partial sum, or anything else under the client's key (§12).
+	tr := timings.Trace
+	tr.SetID(trace.ID(hello.TraceID))
+	tr.SetRole("server")
+	tr.Annotate("scheme", hello.Scheme)
+	tr.Annotate("rows", strconv.FormatUint(hello.VectorLen, 10))
+	if hello.RowOffset != 0 {
+		tr.Annotate("row_offset", strconv.FormatUint(hello.RowOffset, 10))
+	}
+	tr.Observe("hello", helloStart, timings.Hello, nil)
+
+	var absorbStart time.Time
+	chunks := 0
 	width := pk.CiphertextSize()
 	for {
 		f, err := conn.Recv()
@@ -135,6 +159,10 @@ func ServeTimed(conn *wire.Conn, table *database.Table, timings *PhaseTimings) e
 		switch f.Type {
 		case wire.MsgIndexChunk:
 			chunkStart := time.Now()
+			if chunks == 0 {
+				absorbStart = chunkStart
+			}
+			chunks++
 			chunk, err := wire.DecodeIndexChunk(f.Payload, width)
 			if err != nil {
 				return fail(err)
@@ -144,6 +172,13 @@ func ServeTimed(conn *wire.Conn, table *database.Table, timings *PhaseTimings) e
 			}
 			timings.Absorb += time.Since(chunkStart)
 		case wire.MsgDone:
+			if chunks > 0 {
+				// One span for the whole fold: the duration is the compute
+				// time only (waiting in Recv excluded), the attrs carry the
+				// chunk count — per-chunk spans would bloat a long upload.
+				tr.Observe("absorb", absorbStart, timings.Absorb,
+					map[string]string{"chunks": strconv.Itoa(chunks)})
+			}
 			finStart := time.Now()
 			sumCt, err := srv.Finalize(nil)
 			if err != nil {
@@ -151,6 +186,7 @@ func ServeTimed(conn *wire.Conn, table *database.Table, timings *PhaseTimings) e
 			}
 			body := sumCt.Bytes()
 			timings.Finalize = time.Since(finStart)
+			tr.Observe("finalize", finStart, timings.Finalize, nil)
 			if err := conn.Send(wire.MsgSum, body); err != nil {
 				return fmt.Errorf("selectedsum: sending sum: %w", err)
 			}
@@ -234,6 +270,9 @@ func QueryVector(conn *wire.Conn, sk homomorphic.PrivateKey, src VectorSource, c
 		PublicKey: keyBytes,
 		VectorLen: uint64(n),
 		ChunkLen:  uint32(chunkSize),
+		// An armed (non-zero) conn trace ID travels in the hello trailer;
+		// the zero default emits no trailer, so old servers still parse.
+		TraceID: conn.TraceID(),
 	}
 	if conn.CRCEnabled() {
 		hello.Flags |= wire.HelloFlagFrameCRC

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"privstats/internal/selectedsum"
+	"privstats/internal/testutil"
 	"privstats/internal/wire"
 )
 
@@ -17,6 +18,7 @@ import (
 // scenario: a client that goes quiet gets a MsgError, the session is failed
 // and its admission slot comes back (no semaphore leak).
 func TestIdleClientTimesOutAndReleasesSlot(t *testing.T) {
+	testutil.GuardGoroutines(t)
 	sk := testKey(t)
 	table, sel, want := fixture(t, 20, 10)
 	srv, addr := startServer(t, table, Config{
@@ -65,6 +67,7 @@ func TestIdleClientTimesOutAndReleasesSlot(t *testing.T) {
 // away, (b) the in-flight session runs to a correct completion, (c)
 // Shutdown returns nil (clean drain).
 func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	testutil.GuardGoroutines(t)
 	sk := testKey(t)
 	table, sel, want := fixture(t, 40, 20)
 	srv, addr := startServer(t, table, Config{MaxSessions: 4})
@@ -169,6 +172,7 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 // TestShutdownForceClosesAfterGrace: a session that never finishes is
 // force-closed once the shutdown context expires.
 func TestShutdownForceClosesAfterGrace(t *testing.T) {
+	testutil.GuardGoroutines(t)
 	table, _, _ := fixture(t, 20, 10)
 	srv, err := New(table, Config{MaxSessions: 1, Logf: discardLogf})
 	if err != nil {
@@ -247,6 +251,7 @@ func (l *flakyListener) Addr() net.Addr { return flakyAddr{} }
 // the first error (log.Fatalf); the server must instead back off, keep the
 // listener, count the errors, and then serve the session normally.
 func TestAcceptBackoffSurvivesTransientErrors(t *testing.T) {
+	testutil.GuardGoroutines(t)
 	const failures = 4
 	sk := testKey(t)
 	table, sel, want := fixture(t, 20, 10)
@@ -288,6 +293,7 @@ func TestAcceptBackoffSurvivesTransientErrors(t *testing.T) {
 // TestSessionLimitServesOnceAndStops covers cmd/sumserver's -once flag:
 // with SessionLimit=1 the server answers one session and shuts itself down.
 func TestSessionLimitServesOnceAndStops(t *testing.T) {
+	testutil.GuardGoroutines(t)
 	sk := testKey(t)
 	table, sel, want := fixture(t, 20, 10)
 	srv, err := New(table, Config{SessionLimit: 1, Logf: discardLogf})
@@ -326,6 +332,7 @@ func TestSessionLimitServesOnceAndStops(t *testing.T) {
 // TestSessionPanicIsIsolated: a panic inside one session (injected through
 // the WrapConn hook) is recovered, counted, and leaves the server serving.
 func TestSessionPanicIsIsolated(t *testing.T) {
+	testutil.GuardGoroutines(t)
 	sk := testKey(t)
 	table, sel, want := fixture(t, 20, 10)
 	var calls atomic.Int64

@@ -28,6 +28,7 @@ import (
 	"privstats/internal/database"
 	"privstats/internal/metrics"
 	"privstats/internal/selectedsum"
+	"privstats/internal/trace"
 	"privstats/internal/wire"
 )
 
@@ -95,6 +96,12 @@ type Config struct {
 	// Metrics receives the server's counters; nil allocates a fresh set
 	// (retrievable via Server.Metrics).
 	Metrics *metrics.ServerMetrics
+
+	// Traces, when non-nil, records a per-request trace for every session
+	// whose Hello carried a trace ID (see internal/trace): the handler's
+	// phase spans plus the session outcome land in this ring, served from
+	// /traces. Nil disables tracing entirely at zero per-session cost.
+	Traces *trace.Recorder
 
 	// Logf receives operational log lines; nil means log.Printf.
 	Logf func(format string, args ...any)
@@ -197,6 +204,9 @@ func NewHandler(h Handler, cfg Config) (*Server, error) {
 // Metrics returns the server's metrics set (the one from Config, or the
 // internally allocated one).
 func (s *Server) Metrics() *metrics.ServerMetrics { return s.m }
+
+// Traces returns the trace recorder from Config; nil when tracing is off.
+func (s *Server) Traces() *trace.Recorder { return s.cfg.Traces }
 
 // ActiveSessions returns the number of sessions currently running.
 func (s *Server) ActiveSessions() int { return len(s.sem) }
@@ -366,7 +376,17 @@ func (s *Server) serveSession(conn net.Conn) (err error) {
 	wc.SetWriteTimeout(s.cfg.WriteTimeout)
 
 	var phases selectedsum.PhaseTimings
+	if s.cfg.Traces != nil {
+		phases.Trace = trace.New(conn.RemoteAddr().String())
+	}
 	err = s.handler.ServeSession(wc, &phases)
+
+	if phases.Trace != nil {
+		phases.Trace.Finish(err)
+		// Add drops ID-less traces: a client that sent no trace trailer
+		// asked for no trace, and gets none.
+		s.cfg.Traces.Add(phases.Trace)
+	}
 
 	s.m.HelloNanos.ObserveDuration(phases.Hello)
 	s.m.AbsorbNanos.ObserveDuration(phases.Absorb)

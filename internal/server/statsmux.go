@@ -1,0 +1,50 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"privstats/internal/trace"
+)
+
+// StatsMuxConfig selects which observability endpoints a daemon's stats
+// listener exposes. Nil/false fields are simply not mounted, so the zero
+// value is an empty mux and each endpoint is an independent opt-in.
+type StatsMuxConfig struct {
+	// Stats serves the JSON snapshot at /stats (the original endpoint).
+	Stats http.Handler
+	// Prom serves the Prometheus text exposition at /metrics.
+	Prom http.Handler
+	// Traces, when non-nil, serves the recent-trace ring as JSON at /traces.
+	Traces *trace.Recorder
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default: the
+	// stats listener is often bound wider than localhost, and profiles are
+	// an operational decision, not a free default.
+	Pprof bool
+}
+
+// StatsMux assembles the observability mux that cmd/sumserver and
+// cmd/sumproxy bind to -stats-addr. The pprof handlers are mounted
+// explicitly rather than via the package's DefaultServeMux side effects, so
+// importing net/http/pprof here does NOT expose profiles on any other mux
+// in the process.
+func StatsMux(cfg StatsMuxConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	if cfg.Stats != nil {
+		mux.Handle("/stats", cfg.Stats)
+	}
+	if cfg.Prom != nil {
+		mux.Handle("/metrics", cfg.Prom)
+	}
+	if cfg.Traces != nil {
+		mux.Handle("/traces", cfg.Traces.Handler())
+	}
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

@@ -1,0 +1,54 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"privstats/internal/metrics"
+	"privstats/internal/trace"
+)
+
+// TestStatsMuxMounts checks the opt-in matrix: every endpoint is present
+// exactly when configured, and pprof stays off the mux unless asked for —
+// profiles on a wide-bound stats port must be a deliberate choice.
+func TestStatsMuxMounts(t *testing.T) {
+	sm := &metrics.ServerMetrics{}
+	full := StatsMux(StatsMuxConfig{
+		Stats:  sm.Handler(),
+		Prom:   metrics.PromHandler(sm, nil),
+		Traces: trace.NewRecorder(4),
+		Pprof:  true,
+	})
+	empty := StatsMux(StatsMuxConfig{})
+
+	cases := []struct {
+		path       string
+		full, none int
+	}{
+		{"/stats", http.StatusOK, http.StatusNotFound},
+		{"/metrics", http.StatusOK, http.StatusNotFound},
+		{"/traces", http.StatusOK, http.StatusNotFound},
+		{"/debug/pprof/", http.StatusOK, http.StatusNotFound},
+		{"/debug/pprof/cmdline", http.StatusOK, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		for _, m := range []struct {
+			name string
+			mux  *http.ServeMux
+			want int
+		}{{"full", full, tc.full}, {"empty", empty, tc.none}} {
+			rr := httptest.NewRecorder()
+			m.mux.ServeHTTP(rr, httptest.NewRequest("GET", tc.path, nil))
+			if rr.Code != m.want {
+				t.Errorf("%s mux GET %s = %d, want %d", m.name, tc.path, rr.Code, m.want)
+			}
+		}
+	}
+
+	rr := httptest.NewRecorder()
+	full.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != metrics.PromContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, metrics.PromContentType)
+	}
+}

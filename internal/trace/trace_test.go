@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	id := NewID()
+	if id.IsZero() {
+		t.Fatal("NewID returned the zero ID")
+	}
+	s := id.String()
+	if len(s) != 32 {
+		t.Fatalf("id string %q has length %d, want 32", s, len(s))
+	}
+	back, err := ParseID(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatalf("round trip: %v != %v", back, id)
+	}
+	for _, bad := range []string{"", "xyz", "00", strings.Repeat("0", 34)} {
+		if _, err := ParseID(bad); err == nil {
+			t.Errorf("ParseID(%q) accepted", bad)
+		}
+	}
+	if !(ID{}).IsZero() {
+		t.Error("zero ID not IsZero")
+	}
+}
+
+func TestNewIDsDiffer(t *testing.T) {
+	seen := map[ID]bool{}
+	for i := 0; i < 64; i++ {
+		id := NewID()
+		if seen[id] {
+			t.Fatalf("duplicate id %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	tr.SetID(NewID())
+	tr.SetRole("server")
+	tr.Annotate("k", "v")
+	tr.Observe("phase", time.Now(), time.Millisecond, nil)
+	tr.Finish(errors.New("boom"))
+	if tr.HasID() {
+		t.Error("nil trace has an ID")
+	}
+	if s := tr.Snapshot(); len(s.Spans) != 0 {
+		t.Errorf("nil trace snapshot: %+v", s)
+	}
+	// A nil recorder also swallows adds.
+	var rec *Recorder
+	rec.Add(New("peer"))
+}
+
+func TestTraceSnapshot(t *testing.T) {
+	tr := New("127.0.0.1:1234")
+	id := NewID()
+	tr.SetID(id)
+	tr.SetRole("aggregator")
+	tr.Annotate("shards", "2")
+	base := time.Now()
+	tr.Observe("hello", base, 2*time.Millisecond, nil)
+	tr.Observe("shard1", base.Add(3*time.Millisecond), 5*time.Millisecond,
+		map[string]string{"backend": "db1:7001"})
+	tr.Observe("shard0", base.Add(2*time.Millisecond), 4*time.Millisecond, nil)
+	tr.Finish(nil)
+
+	s := tr.Snapshot()
+	if s.ID != id.String() || s.Role != "aggregator" || s.Peer != "127.0.0.1:1234" {
+		t.Fatalf("snapshot header: %+v", s)
+	}
+	if s.Err != "" {
+		t.Fatalf("unexpected err %q", s.Err)
+	}
+	if len(s.Spans) != 3 {
+		t.Fatalf("got %d spans", len(s.Spans))
+	}
+	// Spans come back ordered by start offset.
+	for i := 1; i < len(s.Spans); i++ {
+		if s.Spans[i-1].StartNanos > s.Spans[i].StartNanos {
+			t.Fatalf("spans out of order: %+v", s.Spans)
+		}
+	}
+	if s.Spans[2].Attrs["backend"] != "db1:7001" {
+		t.Fatalf("span attrs lost: %+v", s.Spans[2])
+	}
+	if s.Attrs["shards"] != "2" {
+		t.Fatalf("trace attrs lost: %+v", s.Attrs)
+	}
+	if s.DurSpan <= 0 {
+		t.Fatalf("non-positive trace duration %d", s.DurSpan)
+	}
+}
+
+func TestFinishRecordsBoundedError(t *testing.T) {
+	tr := New("")
+	tr.SetID(NewID())
+	tr.Finish(errors.New(strings.Repeat("x", 10*maxAttrValue)))
+	if s := tr.Snapshot(); len(s.Err) > maxAttrValue {
+		t.Fatalf("error not bounded: %d bytes", len(s.Err))
+	}
+}
+
+func TestAttrValuesAreBounded(t *testing.T) {
+	tr := New("")
+	big := strings.Repeat("A", 10*maxAttrValue)
+	tr.Annotate("k", big)
+	tr.Observe("s", time.Now(), 0, map[string]string{"v": big})
+	s := tr.Snapshot()
+	if len(s.Attrs["k"]) > maxAttrValue || len(s.Spans[0].Attrs["v"]) > maxAttrValue {
+		t.Fatalf("attr values not bounded: %d / %d", len(s.Attrs["k"]), len(s.Spans[0].Attrs["v"]))
+	}
+}
+
+func TestSpanCapDropsAndCounts(t *testing.T) {
+	tr := New("")
+	for i := 0; i < maxSpans+10; i++ {
+		tr.Observe("s", time.Now(), 0, nil)
+	}
+	s := tr.Snapshot()
+	if len(s.Spans) != maxSpans {
+		t.Fatalf("held %d spans, want %d", len(s.Spans), maxSpans)
+	}
+	if s.Dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", s.Dropped)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	tr := New("")
+	tr.SetID(NewID())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				tr.Observe(fmt.Sprintf("w%d", i), time.Now(), time.Microsecond, nil)
+				tr.Annotate(fmt.Sprintf("a%d", i), "v")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(tr.Snapshot().Spans); got != 160 {
+		t.Fatalf("got %d spans, want 160", got)
+	}
+}
+
+func TestRecorderRingEvictsOldest(t *testing.T) {
+	rec := NewRecorder(4)
+	var ids []ID
+	for i := 0; i < 6; i++ {
+		tr := New("")
+		id := NewID()
+		ids = append(ids, id)
+		tr.SetID(id)
+		tr.Finish(nil)
+		rec.Add(tr)
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("ring holds %d, want 4", rec.Len())
+	}
+	if rec.Total() != 6 {
+		t.Fatalf("total = %d, want 6", rec.Total())
+	}
+	recent := rec.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("Recent(0) returned %d", len(recent))
+	}
+	// Newest first: ids[5], ids[4], ids[3], ids[2].
+	for i, want := range []ID{ids[5], ids[4], ids[3], ids[2]} {
+		if recent[i].ID != want.String() {
+			t.Fatalf("recent[%d] = %s, want %s", i, recent[i].ID, want)
+		}
+	}
+	// The evicted ones are gone.
+	if got := rec.Find(ids[0]); len(got) != 0 {
+		t.Fatalf("evicted trace still found: %+v", got)
+	}
+	if got := rec.Find(ids[5]); len(got) != 1 {
+		t.Fatalf("Find newest: %+v", got)
+	}
+	// Recent with a limit.
+	if got := rec.Recent(2); len(got) != 2 || got[0].ID != ids[5].String() {
+		t.Fatalf("Recent(2): %+v", got)
+	}
+}
+
+func TestRecorderIgnoresIDlessTraces(t *testing.T) {
+	rec := NewRecorder(4)
+	tr := New("peer")
+	tr.Observe("hello", time.Now(), time.Millisecond, nil)
+	tr.Finish(nil)
+	rec.Add(tr)
+	if rec.Len() != 0 {
+		t.Fatal("ID-less trace was recorded")
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	rec := NewRecorder(8)
+	var last ID
+	for i := 0; i < 3; i++ {
+		tr := New("p")
+		last = NewID()
+		tr.SetID(last)
+		tr.SetRole("server")
+		tr.Observe("hello", time.Now(), time.Millisecond, nil)
+		tr.Finish(nil)
+		rec.Add(tr)
+	}
+
+	get := func(url string) (int, tracesDoc) {
+		t.Helper()
+		req := httptest.NewRequest("GET", url, nil)
+		w := httptest.NewRecorder()
+		rec.Handler().ServeHTTP(w, req)
+		var doc tracesDoc
+		if w.Code == 200 {
+			if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+				t.Fatalf("bad JSON from %s: %v", url, err)
+			}
+		}
+		return w.Code, doc
+	}
+
+	code, doc := get("/traces")
+	if code != 200 || len(doc.Traces) != 3 || doc.Total != 3 {
+		t.Fatalf("dump: code %d, %+v", code, doc)
+	}
+	if doc.Traces[0].ID != last.String() {
+		t.Fatalf("newest first violated: %+v", doc.Traces[0])
+	}
+	code, doc = get("/traces?n=1")
+	if code != 200 || len(doc.Traces) != 1 {
+		t.Fatalf("n=1: code %d, %d traces", code, len(doc.Traces))
+	}
+	code, doc = get("/traces?id=" + last.String())
+	if code != 200 || len(doc.Traces) != 1 || doc.Traces[0].ID != last.String() {
+		t.Fatalf("id filter: code %d, %+v", code, doc)
+	}
+	code, doc = get("/traces?id=" + NewID().String())
+	if code != 200 || len(doc.Traces) != 0 {
+		t.Fatalf("miss filter: code %d, %+v", code, doc)
+	}
+	if code, _ = get("/traces?id=nothex"); code != 400 {
+		t.Fatalf("bad id: code %d", code)
+	}
+	if code, _ = get("/traces?n=-1"); code != 400 {
+		t.Fatalf("bad n: code %d", code)
+	}
+}

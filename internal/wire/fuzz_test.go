@@ -87,6 +87,9 @@ func FuzzDecodeHello(f *testing.F) {
 	f.Add(h.Encode())
 	f.Add([]byte{})
 	f.Add(make([]byte, 24))
+	traced := h
+	traced.TraceID = [16]byte{1, 2, 3, 4}
+	f.Add(traced.Encode())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := DecodeHello(data)
 		if err != nil {
@@ -105,7 +108,8 @@ func FuzzDecodeHello(f *testing.F) {
 		if again.Version != got.Version || again.Scheme != got.Scheme ||
 			!bytes.Equal(again.PublicKey, got.PublicKey) ||
 			again.VectorLen != got.VectorLen || again.ChunkLen != got.ChunkLen ||
-			again.RowOffset != got.RowOffset {
+			again.RowOffset != got.RowOffset || again.Flags != got.Flags ||
+			again.TraceID != got.TraceID {
 			t.Fatal("hello round trip not value-preserving")
 		}
 		if !bytes.Equal(again.Encode(), enc) {

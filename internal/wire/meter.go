@@ -79,6 +79,10 @@ type Conn struct {
 	// global MaxFrame (see ReadFrameLimit).
 	maxFrame atomic.Int64
 
+	// traceMu guards traceID, the session's end-to-end request identifier.
+	traceMu sync.Mutex
+	traceID [16]byte
+
 	wmu sync.Mutex // serialize frame writes
 	rmu sync.Mutex // serialize frame reads
 }
@@ -111,6 +115,24 @@ func (c *Conn) CRCEnabled() bool { return c.crc.Load() }
 // error message uses it to reject absurd declared lengths before
 // allocating.
 func (c *Conn) SetMaxFrame(n int) { c.maxFrame.Store(int64(n)) }
+
+// SetTraceID arms the session's end-to-end trace ID: the protocol client
+// includes it in the Hello it sends on this connection (the trace trailer),
+// so every component the query touches records its costs under one ID. The
+// zero ID (the default) means no trace is requested and no trailer is sent,
+// which keeps pre-trace servers interoperable.
+func (c *Conn) SetTraceID(id [16]byte) {
+	c.traceMu.Lock()
+	c.traceID = id
+	c.traceMu.Unlock()
+}
+
+// TraceID returns the armed trace ID (zero when tracing is off).
+func (c *Conn) TraceID() [16]byte {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	return c.traceID
+}
 
 // Send writes one frame.
 func (c *Conn) Send(t MsgType, payload []byte) error {

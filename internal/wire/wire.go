@@ -215,13 +215,23 @@ type Hello struct {
 	// Flags carries session option bits (HelloFlag*). Unknown bits are
 	// ignored by the receiver, so new options stay backward compatible.
 	Flags uint32
+	// TraceID, when non-zero, is the 16-byte request identifier the client
+	// minted for end-to-end tracing (internal/trace): every component the
+	// query touches records its per-phase costs under this ID, and the
+	// aggregator forwards it to each backend shard so one ID stitches the
+	// whole fan-out together. The all-zero value means "no trace" and is
+	// not sent on the wire, keeping the hello parseable by pre-trace peers.
+	TraceID [16]byte
 }
+
+// HasTraceID reports whether the hello carries a (non-zero) trace ID.
+func (h *Hello) HasTraceID() bool { return h.TraceID != [16]byte{} }
 
 // Encode serializes h. The trailer is emitted in its shortest accepted
 // form — flags are appended only when set — so a flagless hello stays
 // parseable by pre-flags peers.
 func (h *Hello) Encode() []byte {
-	b := make([]byte, 0, 4+4+len(h.Scheme)+4+len(h.PublicKey)+8+4+8+4)
+	b := make([]byte, 0, 4+4+len(h.Scheme)+4+len(h.PublicKey)+8+4+8+4+16)
 	b = binary.BigEndian.AppendUint32(b, h.Version)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(h.Scheme)))
 	b = append(b, h.Scheme...)
@@ -230,8 +240,13 @@ func (h *Hello) Encode() []byte {
 	b = binary.BigEndian.AppendUint64(b, h.VectorLen)
 	b = binary.BigEndian.AppendUint32(b, h.ChunkLen)
 	b = binary.BigEndian.AppendUint64(b, h.RowOffset)
-	if h.Flags != 0 {
+	if h.Flags != 0 || h.HasTraceID() {
+		// A trace ID forces the flags word out too (even when zero): the
+		// trailer forms are distinguished by length alone.
 		b = binary.BigEndian.AppendUint32(b, h.Flags)
+	}
+	if h.HasTraceID() {
+		b = append(b, h.TraceID[:]...)
 	}
 	return b
 }
@@ -261,21 +276,25 @@ func DecodeHello(b []byte) (*Hello, error) {
 	}
 	h.PublicKey = append([]byte(nil), b[:keyLen]...)
 	b = b[keyLen:]
-	// Three accepted trailers: the original 12-byte form (vector length +
+	// Four accepted trailers: the original 12-byte form (vector length +
 	// chunk length), the 20-byte shard-scoped form that appends RowOffset,
-	// and the 24-byte form that appends session Flags. Accepting all keeps
-	// earlier clients interoperable — a missing row offset means "rows
-	// start at zero", missing flags mean "no options".
-	if len(b) != 12 && len(b) != 20 && len(b) != 24 {
-		return nil, fmt.Errorf("%w: hello has %d trailing bytes, want 12, 20, or 24", ErrBadMessage, len(b))
+	// the 24-byte form that appends session Flags, and the 40-byte form
+	// that appends a 16-byte trace ID. Accepting all keeps earlier clients
+	// interoperable — a missing row offset means "rows start at zero",
+	// missing flags mean "no options", a missing trace ID means "no trace".
+	if len(b) != 12 && len(b) != 20 && len(b) != 24 && len(b) != 40 {
+		return nil, fmt.Errorf("%w: hello has %d trailing bytes, want 12, 20, 24, or 40", ErrBadMessage, len(b))
 	}
 	h.VectorLen = binary.BigEndian.Uint64(b)
 	h.ChunkLen = binary.BigEndian.Uint32(b[8:])
 	if len(b) >= 20 {
 		h.RowOffset = binary.BigEndian.Uint64(b[12:])
 	}
-	if len(b) == 24 {
+	if len(b) >= 24 {
 		h.Flags = binary.BigEndian.Uint32(b[20:])
+	}
+	if len(b) == 40 {
+		copy(h.TraceID[:], b[24:])
 	}
 	return &h, nil
 }

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Coverage gate for `make cover`: profile every internal package (the per-
+# package percentages print as the tests run), then compare the total against
+# the committed floor. The floor lives in the Makefile (COVER_FLOOR) so
+# raising or lowering it is a reviewed change, not a CI-side tweak.
+set -e
+
+floor="${1:?usage: cover.sh <floor-percent>}"
+profile="${2:-cover.out}"
+
+go test -coverprofile="$profile" ./internal/...
+
+total=$(go tool cover -func="$profile" | tail -1 | awk '{sub(/%/,"",$3); print $3}')
+if [ -z "$total" ]; then
+    echo "cover.sh: could not read total coverage from $profile" >&2
+    exit 1
+fi
+echo "total coverage: ${total}% (floor ${floor}%)"
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t+0 < f+0) }'; then
+    echo "cover.sh: total coverage ${total}% fell below the committed floor ${floor}%" >&2
+    exit 1
+fi
