@@ -16,15 +16,26 @@
 // down or busy:
 //
 //	sumclient -server proxy1:7000,proxy2:7000 -n 100000 -timeout 10s -retries 3
+//
+// With -jobd, sumclient talks to a sumjobd gateway instead of running the
+// protocol itself: it submits a declarative JobSpec (inline JSON or @file),
+// polls the job to completion, and prints the result document:
+//
+//	sumclient -jobd http://localhost:7080 -tenant acme -job '{"op":"variance","selection":{"all":true}}'
+//	sumclient -jobd http://localhost:7080 -tenant acme -job @spec.json
 package main
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/big"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -33,6 +44,7 @@ import (
 	"privstats/internal/cluster"
 	"privstats/internal/database"
 	"privstats/internal/homomorphic"
+	"privstats/internal/jobs"
 	"privstats/internal/paillier"
 	"privstats/internal/selectedsum"
 	"privstats/internal/trace"
@@ -55,7 +67,18 @@ func main() {
 	dialHedge := flag.Duration("dial-hedge-after", 0, "launch a second dial if the first is still pending after this delay (0 = off)")
 	useCRC := flag.Bool("crc", false, "request CRC32 frame trailers (old servers degrade to plain frames)")
 	traceReq := flag.Bool("trace", false, "tag the session with a trace ID and print it; servers with -trace-ring expose the phases at /traces?id=")
+	jobdURL := flag.String("jobd", "", "submit to a sumjobd gateway at this base URL instead of running the protocol directly")
+	tenant := flag.String("tenant", "", "tenant name for -jobd submissions (the X-Tenant header)")
+	jobSpec := flag.String("job", "", "JobSpec for -jobd: inline JSON, or @path to read a file")
+	pollEvery := flag.Duration("poll", 200*time.Millisecond, "status poll interval for -jobd submissions")
 	flag.Parse()
+
+	if *jobdURL != "" {
+		if err := runJob(*jobdURL, *tenant, *jobSpec, *pollEvery); err != nil {
+			log.Fatalf("sumclient: %v", err)
+		}
+		return
+	}
 
 	if *n <= 0 {
 		fmt.Fprintln(os.Stderr, "sumclient: -n (remote table size) is required")
@@ -147,6 +170,82 @@ func run(server string, n int, selectFrac float64, indices string, seed int64, k
 	if cs := client.Metrics().Snapshot(); cs.Retries+cs.Failovers > 0 {
 		fmt.Printf("resilience:   %d retries, %d failovers (served by %s)\n", cs.Retries, cs.Failovers, served)
 	}
+	return nil
+}
+
+// runJob submits a JobSpec to a sumjobd gateway and polls it to completion.
+// The spec travels in the clear to the gateway — the gateway is the analyst
+// side and does the encrypting — so this path needs no key material.
+func runJob(baseURL, tenant, spec string, pollEvery time.Duration) error {
+	if tenant == "" {
+		return fmt.Errorf("-tenant is required with -jobd")
+	}
+	if spec == "" {
+		return fmt.Errorf("-job is required with -jobd (inline JSON or @file)")
+	}
+	body := []byte(spec)
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return fmt.Errorf("reading -job file: %w", err)
+		}
+		body = data
+	}
+	baseURL = strings.TrimRight(baseURL, "/")
+
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set(jobs.TenantHeader, tenant)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("submitting job: %w", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("gateway rejected job (HTTP %d): %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var job jobs.Job
+	if err := json.Unmarshal(raw, &job); err != nil {
+		return fmt.Errorf("parsing submit response: %w", err)
+	}
+	fmt.Printf("job id:   %s\n", job.ID)
+	fmt.Printf("trace:    %s/traces?id=%s\n", baseURL, job.ID)
+
+	start := time.Now()
+	for job.State == jobs.StateQueued || job.State == jobs.StateRunning {
+		time.Sleep(pollEvery)
+		resp, err := http.Get(baseURL + "/jobs/" + job.ID)
+		if err != nil {
+			return fmt.Errorf("polling job: %w", err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("job %s lost (HTTP %d): %s", job.ID, resp.StatusCode, strings.TrimSpace(string(raw)))
+		}
+		if err := json.Unmarshal(raw, &job); err != nil {
+			return fmt.Errorf("parsing status: %w", err)
+		}
+	}
+	fmt.Printf("state:    %s after %v\n", job.State, time.Since(start).Round(time.Millisecond))
+	if job.State == jobs.StateFailed {
+		return fmt.Errorf("job failed: %s", job.Error)
+	}
+	out, err := json.MarshalIndent(job.Result, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("result:   %s\n", out)
 	return nil
 }
 

@@ -224,6 +224,12 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 	if err != nil {
 		return fail(err)
 	}
+	if !hello.Columns.Valid() {
+		return fail(fmt.Errorf("cluster: unknown column bits in set %s", hello.Columns))
+	}
+	// The column set is forwarded verbatim to every shard; each backend
+	// replies with ncols partials and the combine runs column-wise.
+	ncols := hello.EffectiveColumns().Count()
 	width := pk.CiphertextSize()
 
 	// Trace the fan-out under the client's ID (zero = no trace): the
@@ -243,7 +249,7 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 	shards := a.shards.Shards()
 	type shardResult struct {
 		i    int
-		ct   homomorphic.Ciphertext
+		cts  []homomorphic.Ciphertext
 		addr string
 		err  error
 	}
@@ -252,8 +258,8 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 	for i := range shards {
 		bufs[i] = newShardBuffer()
 		go func(i int) {
-			ct, addr, err := a.queryShard(ctx, i, shards[i], hello, pk, bufs[i], tr)
-			results <- shardResult{i: i, ct: ct, addr: addr, err: err}
+			cts, addr, err := a.queryShard(ctx, i, shards[i], hello, pk, bufs[i], tr)
+			results <- shardResult{i: i, cts: cts, addr: addr, err: err}
 		}(i)
 	}
 	abortWorkers := func(err error) {
@@ -278,7 +284,7 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 
 	// failed drains a worker failure noticed mid-upload without blocking.
 	pending := len(shards)
-	partials := make([]homomorphic.Ciphertext, len(shards))
+	partials := make([][]homomorphic.Ciphertext, len(shards))
 	checkWorkers := func() error {
 		for {
 			select {
@@ -287,7 +293,7 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 				if r.err != nil {
 					return shardErr(r.i, r.err)
 				}
-				partials[r.i] = r.ct
+				partials[r.i] = r.cts
 			default:
 				return nil
 			}
@@ -387,34 +393,40 @@ recvLoop:
 			abortWorkers(errAborted)
 		}
 		if r.err == nil {
-			partials[r.i] = r.ct
+			partials[r.i] = r.cts
 		}
 	}
 	if workerErr != nil {
 		return fail(workerErr)
 	}
 
-	// Combine: Π partials = E(Σ shard sums) = E(total), then rerandomize
-	// so the reply is unlinkable to the product the aggregator computed —
-	// the client must not be able to reconstruct per-shard partials even
-	// if it later compromises a backend.
+	// Combine column-wise: Π_s partials[s][c] = E(Σ shard sums of column c)
+	// = E(total of column c), then rerandomize so each reply is unlinkable
+	// to the product the aggregator computed — the client must not be able
+	// to reconstruct per-shard partials even if it later compromises a
+	// backend. Replies go out in the same ascending-bit order the backends
+	// used, so the aggregator is column-order transparent.
 	finStart := time.Now()
-	acc := partials[0]
-	for _, p := range partials[1:] {
-		acc, err = pk.Add(acc, p)
-		if err != nil {
-			return fail(fmt.Errorf("cluster: combining partials: %w", err))
+	replies := make([]homomorphic.Ciphertext, ncols)
+	for c := 0; c < ncols; c++ {
+		acc := partials[0][c]
+		for _, p := range partials[1:] {
+			acc, err = pk.Add(acc, p[c])
+			if err != nil {
+				return fail(fmt.Errorf("cluster: combining partials: %w", err))
+			}
 		}
-	}
-	reply, err := pk.Rerandomize(acc)
-	if err != nil {
-		return fail(fmt.Errorf("cluster: rerandomizing total: %w", err))
+		if replies[c], err = pk.Rerandomize(acc); err != nil {
+			return fail(fmt.Errorf("cluster: rerandomizing total: %w", err))
+		}
 	}
 	timings.Finalize = time.Since(finStart)
 	tr.Observe("combine", finStart, timings.Finalize, nil)
 	a.m.CombineNanos.ObserveDuration(timings.Finalize)
-	if err := conn.Send(wire.MsgSum, reply.Bytes()); err != nil {
-		return fmt.Errorf("cluster: sending sum: %w", err)
+	for _, reply := range replies {
+		if err := conn.Send(wire.MsgSum, reply.Bytes()); err != nil {
+			return fmt.Errorf("cluster: sending sum: %w", err)
+		}
 	}
 	return nil
 }
@@ -425,7 +437,7 @@ recvLoop:
 // if the primary is still silent HedgeAfter past upload completion. The
 // shard buffer retains everything and hands out chunks by index, so two
 // dispatches can replay it concurrently.
-func (a *Aggregator) queryShard(ctx context.Context, idx int, s Shard, clientHello *wire.Hello, pk homomorphic.PublicKey, buf *shardBuffer, tr *trace.Trace) (homomorphic.Ciphertext, string, error) {
+func (a *Aggregator) queryShard(ctx context.Context, idx int, s Shard, clientHello *wire.Hello, pk homomorphic.PublicKey, buf *shardBuffer, tr *trace.Trace) ([]homomorphic.Ciphertext, string, error) {
 	if a.cfg.ShardTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, a.cfg.ShardTimeout)
@@ -438,15 +450,15 @@ func (a *Aggregator) queryShard(ctx context.Context, idx int, s Shard, clientHel
 	rctx, rcancel := context.WithCancel(ctx)
 	defer rcancel()
 	type outcome struct {
-		ct    homomorphic.Ciphertext
+		cts   []homomorphic.Ciphertext
 		addr  string
 		err   error
 		hedge bool
 	}
 	outc := make(chan outcome, 2)
 	launch := func(backends []string, hedge bool) {
-		ct, addr, err := a.dispatchShard(rctx, idx, s, backends, clientHello, pk, buf, tr, hedge)
-		outc <- outcome{ct, addr, err, hedge}
+		cts, addr, err := a.dispatchShard(rctx, idx, s, backends, clientHello, pk, buf, tr, hedge)
+		outc <- outcome{cts, addr, err, hedge}
 	}
 	go launch(s.Backends, false)
 
@@ -488,7 +500,7 @@ func (a *Aggregator) queryShard(ctx context.Context, idx int, s Shard, clientHel
 						}
 					}(launched - received)
 				}
-				return o.ct, o.addr, nil
+				return o.cts, o.addr, nil
 			}
 			lastErr = o.err
 			if received == launched {
@@ -507,9 +519,10 @@ func (a *Aggregator) queryShard(ctx context.Context, idx int, s Shard, clientHel
 // the start; on the first attempt the buffer is still filling, so the
 // replay degenerates into streaming through — pipelined with the client
 // upload.
-func (a *Aggregator) dispatchShard(ctx context.Context, idx int, s Shard, backends []string, clientHello *wire.Hello, pk homomorphic.PublicKey, buf *shardBuffer, tr *trace.Trace, hedge bool) (homomorphic.Ciphertext, string, error) {
+func (a *Aggregator) dispatchShard(ctx context.Context, idx int, s Shard, backends []string, clientHello *wire.Hello, pk homomorphic.PublicKey, buf *shardBuffer, tr *trace.Trace, hedge bool) ([]homomorphic.Ciphertext, string, error) {
 	width := pk.CiphertextSize()
-	var partial homomorphic.Ciphertext
+	ncols := clientHello.EffectiveColumns().Count()
+	var partials []homomorphic.Ciphertext
 	dispatchStart := time.Now()
 	var uploadDur, replyDur time.Duration
 	addr, st, err := a.client.DoStats(ctx, backends, func(sess *Session) error {
@@ -522,6 +535,7 @@ func (a *Aggregator) dispatchShard(ctx context.Context, idx int, s Shard, backen
 			ChunkLen:  clientHello.ChunkLen,
 			RowOffset: uint64(s.Lo),
 			TraceID:   clientHello.TraceID,
+			Columns:   clientHello.Columns,
 		}
 		if sess.Conn.CRCEnabled() {
 			// Ask the backend to trail its partial sum with a CRC too:
@@ -585,27 +599,41 @@ func (a *Aggregator) dispatchShard(ctx context.Context, idx int, s Shard, backen
 			return err
 		}
 		uploadDur = time.Since(attemptStart)
-		r := <-respc
+		// One partial per requested column, first frame via the watcher,
+		// the rest read inline — they arrive strictly after it.
+		got := make([]homomorphic.Ciphertext, 0, ncols)
+		for i := 0; i < ncols; i++ {
+			var r response
+			if i == 0 {
+				r = <-respc
+			} else {
+				r.f, r.err = sess.Conn.Recv()
+			}
+			if r.err != nil {
+				return fmt.Errorf("cluster: reading partial sum %d/%d: %w", i+1, ncols, r.err)
+			}
+			switch r.f.Type {
+			case wire.MsgSum:
+				if sess.Conn.CRCEnabled() && !r.f.CRC {
+					return fmt.Errorf("cluster: plain frame type %#x in a CRC session: %w", byte(r.f.Type), wire.ErrFrameCorrupt)
+				}
+				ct, err := pk.ParseCiphertext(r.f.Payload)
+				if err != nil {
+					return fmt.Errorf("cluster: parsing partial sum: %w", err)
+				}
+				got = append(got, ct)
+			case wire.MsgError:
+				return wire.DecodeError(r.f.Payload)
+			default:
+				if sess.Conn.CRCEnabled() && !r.f.CRC {
+					return fmt.Errorf("cluster: plain frame type %#x in a CRC session: %w", byte(r.f.Type), wire.ErrFrameCorrupt)
+				}
+				return fmt.Errorf("cluster: expected partial sum, got message type %#x", byte(r.f.Type))
+			}
+		}
 		replyDur = time.Since(attemptStart) - uploadDur
-		if r.err != nil {
-			return fmt.Errorf("cluster: reading partial sum: %w", r.err)
-		}
-		switch r.f.Type {
-		case wire.MsgSum:
-			ct, err := pk.ParseCiphertext(r.f.Payload)
-			if err != nil {
-				return fmt.Errorf("cluster: parsing partial sum: %w", err)
-			}
-			partial = ct
-			return nil
-		case wire.MsgError:
-			return wire.DecodeError(r.f.Payload)
-		default:
-			if sess.Conn.CRCEnabled() && !r.f.CRC {
-				return fmt.Errorf("cluster: plain frame type %#x in a CRC session: %w", byte(r.f.Type), wire.ErrFrameCorrupt)
-			}
-			return fmt.Errorf("cluster: expected partial sum, got message type %#x", byte(r.f.Type))
-		}
+		partials = got
+		return nil
 	})
 
 	// One span per dispatch (a hedged shard gets two), annotated with the
@@ -642,5 +670,5 @@ func (a *Aggregator) dispatchShard(ctx context.Context, idx int, s Shard, backen
 	if err != nil {
 		return nil, "", err
 	}
-	return partial, addr, nil
+	return partials, addr, nil
 }

@@ -559,3 +559,39 @@ func (c *Client) Query(ctx context.Context, backends []string, sk homomorphic.Pr
 	}
 	return sum, nil
 }
+
+// QuerySpec describes one multi-column query for QueryColumns.
+type QuerySpec struct {
+	// Sel is the secret selection (required).
+	Sel *database.Selection
+	// ChunkSize batches the index stream; 0 sends one chunk.
+	ChunkSize int
+	// Pool supplies preprocessed bit encryptions; nil encrypts online.
+	Pool homomorphic.EncryptorPool
+	// Columns selects the server-side folds (zero means value only).
+	Columns wire.ColumnSet
+	// TraceID, when non-zero, tags every attempt of the query so one ID
+	// stitches the client, aggregator, and shard records together.
+	TraceID [16]byte
+}
+
+// QueryColumns runs one multi-column selected-sum query with the runtime's
+// full retry/failover policy: one uplink of the encrypted selection, one
+// decrypted sum per column in spec.Columns (ascending bit order).
+func (c *Client) QueryColumns(ctx context.Context, backends []string, sk homomorphic.PrivateKey, spec QuerySpec) ([]*big.Int, error) {
+	c.m.Queries.Inc()
+	var sums []*big.Int
+	_, err := c.Do(ctx, backends, func(s *Session) error {
+		s.Conn.SetTraceID(spec.TraceID)
+		got, err := selectedsum.QueryColumns(s.Conn, sk, spec.Sel, spec.ChunkSize, spec.Pool, spec.Columns)
+		if err != nil {
+			return err
+		}
+		sums = got
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sums, nil
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"context"
+	"math/big"
+	"strings"
+	"testing"
+
+	"privstats/internal/wire"
+)
+
+// Multi-column fan-out: the aggregator forwards the hello's column set to
+// every shard, reads one partial per column from each, and combines
+// column-wise — so a variance (value+square) or count (ones) query costs one
+// uplink across the whole cluster, exactly like the single-server fold.
+
+func TestClusterQueryColumnsMatchesOracle(t *testing.T) {
+	table, sel, wantSum := fixture(t, 60, 31, 777)
+	wantSq, err := table.SelectedSumOfSquares(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _, client := startCluster(t, table, 3)
+	sk := testKey(t)
+
+	sums, err := client.QueryColumns(context.Background(), []string{addr}, sk, QuerySpec{
+		Sel:       sel,
+		ChunkSize: 7,
+		Columns:   wire.ColValue | wire.ColSquare | wire.ColOnes,
+	})
+	if err != nil {
+		t.Fatalf("QueryColumns: %v", err)
+	}
+	if len(sums) != 3 {
+		t.Fatalf("got %d sums, want 3", len(sums))
+	}
+	if sums[0].Cmp(wantSum) != 0 {
+		t.Errorf("value sum = %v, want %v", sums[0], wantSum)
+	}
+	if sums[1].Cmp(wantSq) != 0 {
+		t.Errorf("square sum = %v, want %v", sums[1], wantSq)
+	}
+	if wantCount := big.NewInt(int64(sel.Count())); sums[2].Cmp(wantCount) != 0 {
+		t.Errorf("ones sum = %v, want %v", sums[2], wantCount)
+	}
+}
+
+func TestClusterQueryColumnsDefaultMatchesQuery(t *testing.T) {
+	table, sel, want := fixture(t, 30, 12, 778)
+	addr, _, client := startCluster(t, table, 2)
+	sk := testKey(t)
+
+	sums, err := client.QueryColumns(context.Background(), []string{addr}, sk, QuerySpec{Sel: sel})
+	if err != nil {
+		t.Fatalf("QueryColumns: %v", err)
+	}
+	if len(sums) != 1 || sums[0].Cmp(want) != 0 {
+		t.Errorf("sums = %v, want [%v]", sums, want)
+	}
+}
+
+func TestAggregatorRejectsUnknownColumnBits(t *testing.T) {
+	table, _, _ := fixture(t, 20, 5, 779)
+	addr, _, client := startCluster(t, table, 2)
+	sk := testKey(t)
+
+	keyBytes, err := sk.PublicKey().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Do(context.Background(), []string{addr}, func(s *Session) error {
+		hello := wire.Hello{
+			Version:   wire.Version,
+			Scheme:    sk.PublicKey().SchemeName(),
+			PublicKey: keyBytes,
+			VectorLen: uint64(table.Len()),
+			Columns:   1 << 11,
+		}
+		if err := s.Conn.Send(wire.MsgHello, hello.Encode()); err != nil {
+			return err
+		}
+		f, err := s.Conn.Recv()
+		if err != nil {
+			return err
+		}
+		if f.Type != wire.MsgError {
+			t.Errorf("expected MsgError, got %#x", byte(f.Type))
+			return nil
+		}
+		perr := wire.DecodeError(f.Payload)
+		if !strings.Contains(perr.Error(), "unknown column") {
+			t.Errorf("error should name the unknown column bits: %v", perr)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+}

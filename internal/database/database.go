@@ -92,6 +92,16 @@ func ProductColumn(a, b *Table) (Column, error) {
 // SquareColumn returns the column of squared values.
 func (t *Table) SquareColumn() Column { return squareColumn{sq: t.Squares()} }
 
+type onesColumn struct{ n int }
+
+func (c onesColumn) Len() int    { return c.n }
+func (onesColumn) At(int) uint64 { return 1 }
+
+// Ones returns the constant-1 column of length n. Folding the encrypted
+// index vector against it yields the selected count m without revealing
+// which rows were selected — the count leg of group-by and count queries.
+func Ones(n int) Column { return onesColumn{n: n} }
+
 // Shard returns a view of rows [lo, hi) sharing the backing storage — the
 // slice of the database one client covers in the multi-client protocol.
 func (t *Table) Shard(lo, hi int) (*Table, error) {

@@ -1,0 +1,132 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// FairSemaphore is a weighted fair-share admission gate over a fixed number
+// of execution slots — the PR-1 admission semaphore with start-time fair
+// queueing in front of it. A plain FIFO semaphore lets one saturating
+// tenant enqueue a hundred jobs and make everyone else wait behind all of
+// them; here each grant advances the tenant's virtual "pass" by 1/weight,
+// and the waiter with the smallest pass goes next. A tenant that was idle
+// re-enters at the current virtual time (not at zero), so sparse tenants
+// interleave with a saturating one instead of queueing behind it, and
+// bandwidth under saturation converges to the weight ratio.
+type FairSemaphore struct {
+	mu      sync.Mutex
+	slots   int
+	inuse   int
+	vtime   float64
+	pass    map[string]float64
+	waiters []*fairWaiter
+	seq     uint64 // FIFO tiebreak for equal passes
+}
+
+type fairWaiter struct {
+	tenant string
+	weight int
+	tag    float64
+	seq    uint64
+	ready  chan struct{}
+}
+
+// NewFairSemaphore builds a gate with the given number of execution slots.
+func NewFairSemaphore(slots int) (*FairSemaphore, error) {
+	if slots <= 0 {
+		return nil, errors.New("jobs: fair semaphore needs a positive slot count")
+	}
+	return &FairSemaphore{slots: slots, pass: make(map[string]float64)}, nil
+}
+
+// charge advances tenant's pass for one grant and returns the virtual start
+// time of that grant.
+func (f *FairSemaphore) charge(tenant string, weight int) float64 {
+	start := f.pass[tenant]
+	if start < f.vtime {
+		start = f.vtime
+	}
+	f.pass[tenant] = start + 1/float64(weight)
+	return start
+}
+
+// Acquire blocks until the tenant is granted a slot or ctx is cancelled.
+// Weight must be positive.
+func (f *FairSemaphore) Acquire(ctx context.Context, tenant string, weight int) error {
+	if weight <= 0 {
+		return errors.New("jobs: non-positive fair-share weight")
+	}
+	f.mu.Lock()
+	if f.inuse < f.slots && len(f.waiters) == 0 {
+		f.inuse++
+		f.vtime = f.charge(tenant, weight)
+		f.mu.Unlock()
+		return nil
+	}
+	w := &fairWaiter{
+		tenant: tenant,
+		weight: weight,
+		tag:    f.charge(tenant, weight),
+		seq:    f.seq,
+		ready:  make(chan struct{}),
+	}
+	f.seq++
+	f.waiters = append(f.waiters, w)
+	f.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		f.mu.Lock()
+		for i, q := range f.waiters {
+			if q == w {
+				f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+				f.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		f.mu.Unlock()
+		// Lost the race: the grant already happened, hand the slot back.
+		<-w.ready
+		f.Release()
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot and grants it to the waiter with the smallest
+// virtual start (FIFO among equals).
+func (f *FairSemaphore) Release() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.inuse == 0 {
+		panic("jobs: FairSemaphore.Release without Acquire")
+	}
+	f.inuse--
+	if len(f.waiters) == 0 || f.inuse >= f.slots {
+		return
+	}
+	best := 0
+	for i, w := range f.waiters[1:] {
+		if w.tag < f.waiters[best].tag ||
+			(w.tag == f.waiters[best].tag && w.seq < f.waiters[best].seq) {
+			best = i + 1
+		}
+	}
+	w := f.waiters[best]
+	f.waiters = append(f.waiters[:best], f.waiters[best+1:]...)
+	f.inuse++
+	if w.tag > f.vtime {
+		f.vtime = w.tag
+	}
+	close(w.ready)
+}
+
+// Queued returns the number of waiters (for tests and introspection).
+func (f *FairSemaphore) Queued() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}

@@ -1,0 +1,189 @@
+package jobs
+
+import (
+	"fmt"
+	"math/big"
+
+	"privstats/internal/database"
+	"privstats/internal/wire"
+)
+
+// Step is one cluster query of a plan: fold the (secret) selection against
+// the requested column set in a single uplink.
+type Step struct {
+	// Label names the step in traces ("sum", "moments", "group3").
+	Label string
+	// Sel is the selection this step's uplink encrypts.
+	Sel *database.Selection
+	// Columns is the server-side fold set for the step.
+	Columns wire.ColumnSet
+	// Group is the group index for per-group steps, -1 otherwise.
+	Group int
+}
+
+// Plan maps a validated JobSpec onto selected-sum queries plus a local
+// finishing computation. Every op costs the fewest uplinks its statistic
+// allows: sum/mean/variance/covariance are ONE query each (variance rides
+// the paper's one-round two-column fold), groupby is one query per
+// non-empty group.
+type Plan struct {
+	// Op echoes the spec's operation.
+	Op string
+	// Steps are the cluster queries, run in order.
+	Steps []Step
+	// finish combines the decrypted per-step sums (sums[i][j] is step i's
+	// j'th column, in ascending ColumnSet bit order) into the result.
+	finish func(sums [][]*big.Int) (*Result, error)
+}
+
+// Result is a job's plaintext outcome. Exact values only: integers are
+// decimal strings, ratio statistics are exact rationals rendered as "p/q"
+// (big.Rat.RatString), so nothing is rounded before the analyst sees it.
+type Result struct {
+	Op    string `json:"op"`
+	Count int    `json:"count"`
+	// Sum is Σx over the selection (sum/mean/variance).
+	Sum string `json:"sum,omitempty"`
+	// SumSquares is Σx² (variance).
+	SumSquares string `json:"sum_squares,omitempty"`
+	// Mean is the exact mean (mean/variance).
+	Mean string `json:"mean,omitempty"`
+	// Variance is the exact population variance (m·Q − S²)/m².
+	Variance string `json:"variance,omitempty"`
+	// Covariance is the exact population covariance (m·Σxy − Σx·Σy)/m².
+	Covariance string `json:"covariance,omitempty"`
+	// Groups holds per-group rows for groupby, indexed by group.
+	Groups []GroupResult `json:"groups,omitempty"`
+}
+
+// GroupResult is one group's row in a groupby result.
+type GroupResult struct {
+	Group int    `json:"group"`
+	Count int    `json:"count"`
+	Sum   string `json:"sum"`
+	// Mean is empty for groups with no selected rows.
+	Mean string `json:"mean,omitempty"`
+}
+
+// BuildPlan validates spec against schema and maps it onto steps. The
+// returned plan is self-contained: it holds materialized selections and the
+// finish arithmetic, so executing it needs only a query runner.
+func BuildPlan(spec *JobSpec, schema Schema) (*Plan, error) {
+	if err := spec.Validate(schema); err != nil {
+		return nil, err
+	}
+	sel, err := spec.Selection.Build(schema.Rows)
+	if err != nil {
+		return nil, err
+	}
+	m := sel.Count()
+	bm := big.NewInt(int64(m))
+
+	switch spec.Op {
+	case OpSum:
+		return &Plan{
+			Op:    OpSum,
+			Steps: []Step{{Label: "sum", Sel: sel, Columns: wire.ColValue, Group: -1}},
+			finish: func(sums [][]*big.Int) (*Result, error) {
+				return &Result{Op: OpSum, Count: m, Sum: sums[0][0].String()}, nil
+			},
+		}, nil
+
+	case OpMean:
+		return &Plan{
+			Op:    OpMean,
+			Steps: []Step{{Label: "mean", Sel: sel, Columns: wire.ColValue, Group: -1}},
+			finish: func(sums [][]*big.Int) (*Result, error) {
+				s := sums[0][0]
+				return &Result{
+					Op:    OpMean,
+					Count: m,
+					Sum:   s.String(),
+					Mean:  new(big.Rat).SetFrac(s, bm).RatString(),
+				}, nil
+			},
+		}, nil
+
+	case OpVariance, OpCovariance:
+		// One query, two folds: the encrypted selection feeds the value and
+		// square columns in a single round. Covariance on this repo's
+		// single-column tables is the self-covariance cov(x, x): Σxy = Σx²,
+		// so the same step serves both and the identity
+		// (m·Σxy − Σx·Σy)/m² degenerates to the variance.
+		return &Plan{
+			Op:    spec.Op,
+			Steps: []Step{{Label: "moments", Sel: sel, Columns: wire.ColValue | wire.ColSquare, Group: -1}},
+			finish: func(sums [][]*big.Int) (*Result, error) {
+				s, q := sums[0][0], sums[0][1]
+				// (m·Q − S²) / m²
+				num := new(big.Int).Mul(bm, q)
+				num.Sub(num, new(big.Int).Mul(s, s))
+				ratio := new(big.Rat).SetFrac(num, new(big.Int).Mul(bm, bm)).RatString()
+				res := &Result{Op: spec.Op, Count: m, Sum: s.String(), SumSquares: q.String()}
+				if spec.Op == OpVariance {
+					res.Mean = new(big.Rat).SetFrac(s, bm).RatString()
+					res.Variance = ratio
+				} else {
+					res.Covariance = ratio
+				}
+				return res, nil
+			},
+		}, nil
+
+	case OpGroupBy:
+		// One selected-sum query per non-empty group: the secret selection
+		// intersected with the (public) group labels. Counts are local
+		// knowledge — the gateway authored the selection — so only the sums
+		// touch the protocol, mirroring GroupByQuery's per-stratum
+		// semantics. Empty groups are filled in at finish time for free.
+		p := spec.Params
+		groupSels := make([]*database.Selection, p.Groups)
+		counts := make([]int, p.Groups)
+		for g := range groupSels {
+			gs, err := database.NewSelection(schema.Rows)
+			if err != nil {
+				return nil, err
+			}
+			groupSels[g] = gs
+		}
+		for i, g := range p.Labels {
+			if sel.Bit(i) == 1 {
+				groupSels[g].Set(i)
+				counts[g]++
+			}
+		}
+		var steps []Step
+		stepGroup := make([]int, 0, p.Groups)
+		for g := 0; g < p.Groups; g++ {
+			if counts[g] == 0 {
+				continue
+			}
+			steps = append(steps, Step{
+				Label:   fmt.Sprintf("group%d", g),
+				Sel:     groupSels[g],
+				Columns: wire.ColValue,
+				Group:   g,
+			})
+			stepGroup = append(stepGroup, g)
+		}
+		groups := p.Groups
+		return &Plan{
+			Op:    OpGroupBy,
+			Steps: steps,
+			finish: func(sums [][]*big.Int) (*Result, error) {
+				res := &Result{Op: OpGroupBy, Count: m, Groups: make([]GroupResult, groups)}
+				for g := range res.Groups {
+					res.Groups[g] = GroupResult{Group: g, Count: counts[g], Sum: "0"}
+				}
+				for i, g := range stepGroup {
+					s := sums[i][0]
+					row := &res.Groups[g]
+					row.Sum = s.String()
+					row.Mean = new(big.Rat).SetFrac(s, big.NewInt(int64(counts[g]))).RatString()
+				}
+				return res, nil
+			},
+		}, nil
+	}
+	return nil, badJob("op", "unknown op %q", spec.Op)
+}

@@ -1,0 +1,131 @@
+package jobs
+
+import (
+	"math/big"
+	"testing"
+
+	"privstats/internal/wire"
+)
+
+func sums(vals ...int64) []*big.Int {
+	out := make([]*big.Int, len(vals))
+	for i, v := range vals {
+		out[i] = big.NewInt(v)
+	}
+	return out
+}
+
+func TestBuildPlanSumAndMean(t *testing.T) {
+	spec := &JobSpec{Op: OpSum, Selection: SelectionSpec{Rows: []int{0, 2, 4}}}
+	plan, err := BuildPlan(spec, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 1 || plan.Steps[0].Columns != wire.ColValue {
+		t.Fatalf("sum plan steps %+v", plan.Steps)
+	}
+	res, err := plan.finish([][]*big.Int{sums(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != "42" || res.Count != 3 {
+		t.Fatalf("sum result %+v", res)
+	}
+
+	spec.Op = OpMean
+	plan, err = BuildPlan(spec, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = plan.finish([][]*big.Int{sums(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean != "10/3" {
+		t.Fatalf("mean %q, want 10/3", res.Mean)
+	}
+}
+
+func TestBuildPlanVariance(t *testing.T) {
+	// Rows {0,1,2,3}: one query folding value AND square columns.
+	spec := &JobSpec{Op: OpVariance, Selection: SelectionSpec{Ranges: [][2]int{{0, 4}}}}
+	plan, err := BuildPlan(spec, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 1 {
+		t.Fatalf("variance wants ONE query, got %d", len(plan.Steps))
+	}
+	if plan.Steps[0].Columns != wire.ColValue|wire.ColSquare {
+		t.Fatalf("variance columns %v", plan.Steps[0].Columns)
+	}
+	// Values 1,2,3,4: S=10, Q=30, var = (4·30 − 100)/16 = 20/16 = 5/4.
+	res, err := plan.finish([][]*big.Int{sums(10, 30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Variance != "5/4" || res.Mean != "5/2" || res.SumSquares != "30" {
+		t.Fatalf("variance result %+v", res)
+	}
+
+	// Self-covariance degenerates to the same identity.
+	spec.Op = OpCovariance
+	spec.Columns = []string{"value", "value"}
+	plan, err = BuildPlan(spec, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = plan.finish([][]*big.Int{sums(10, 30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covariance != "5/4" {
+		t.Fatalf("covariance %q, want 5/4", res.Covariance)
+	}
+}
+
+func TestBuildPlanGroupBy(t *testing.T) {
+	// 10 rows, labels alternate 0/1/2; select rows 0..5. Group 2 gets rows
+	// {2, 5}, group 0 {0, 3}, group 1 {1, 4}. Then restrict the selection so
+	// one group is empty.
+	labels := []int{0, 1, 2, 0, 1, 2, 0, 1, 2, 0}
+	spec := &JobSpec{
+		Op:        OpGroupBy,
+		Selection: SelectionSpec{Ranges: [][2]int{{0, 2}}}, // rows 0,1 → groups 0,1
+		Params:    &GroupByParams{Labels: labels, Groups: 3},
+	}
+	plan, err := BuildPlan(spec, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 2 {
+		t.Fatalf("expected 2 non-empty groups, got %d steps", len(plan.Steps))
+	}
+	for _, st := range plan.Steps {
+		if st.Columns != wire.ColValue || st.Group < 0 {
+			t.Fatalf("step %+v", st)
+		}
+	}
+	res, err := plan.finish([][]*big.Int{sums(7), sums(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 3 {
+		t.Fatalf("groups %+v", res.Groups)
+	}
+	if res.Groups[0].Sum != "7" || res.Groups[0].Count != 1 || res.Groups[0].Mean != "7" {
+		t.Fatalf("group 0: %+v", res.Groups[0])
+	}
+	if res.Groups[1].Sum != "9" {
+		t.Fatalf("group 1: %+v", res.Groups[1])
+	}
+	if res.Groups[2].Sum != "0" || res.Groups[2].Count != 0 || res.Groups[2].Mean != "" {
+		t.Fatalf("empty group 2: %+v", res.Groups[2])
+	}
+}
+
+func TestBuildPlanRejectsBadSpec(t *testing.T) {
+	if _, err := BuildPlan(&JobSpec{Op: "median", Selection: SelectionSpec{All: true}}, testSchema()); err == nil {
+		t.Fatal("BuildPlan accepted an invalid spec")
+	}
+}

@@ -1,0 +1,132 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Tenant is one analyst identity's admission policy, operator-configured.
+type Tenant struct {
+	// Name identifies the tenant (the X-Tenant submit header).
+	Name string `json:"name"`
+	// Weight is the fair-share weight: with the gateway saturated, tenants
+	// get execution slots in proportion to their weights.
+	Weight int `json:"weight"`
+	// Rate is the token-bucket refill in submissions per second.
+	Rate float64 `json:"rate"`
+	// Burst is the bucket capacity: how many submissions can arrive
+	// back-to-back before the rate limit bites.
+	Burst float64 `json:"burst"`
+	// MaxQueued caps the tenant's admitted-but-unfinished jobs; past it,
+	// submissions are rejected instead of queued without bound.
+	MaxQueued int `json:"max_queued"`
+}
+
+// Validate rejects non-positive policy knobs — the zero value is an
+// operator mistake, never a default.
+func (t Tenant) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("jobs: tenant with empty name")
+	}
+	if t.Weight <= 0 {
+		return fmt.Errorf("jobs: tenant %s: weight %d must be positive", t.Name, t.Weight)
+	}
+	if t.Rate <= 0 {
+		return fmt.Errorf("jobs: tenant %s: rate %g must be positive", t.Name, t.Rate)
+	}
+	if t.Burst <= 0 {
+		return fmt.Errorf("jobs: tenant %s: burst %g must be positive", t.Name, t.Burst)
+	}
+	if t.MaxQueued <= 0 {
+		return fmt.Errorf("jobs: tenant %s: max_queued %d must be positive", t.Name, t.MaxQueued)
+	}
+	return nil
+}
+
+// LoadTenants reads a tenant config file: a JSON array of Tenant objects.
+// Every entry is validated; duplicates are rejected.
+func LoadTenants(path string) ([]Tenant, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: reading tenant config: %w", err)
+	}
+	var tenants []Tenant
+	if err := json.Unmarshal(data, &tenants); err != nil {
+		return nil, fmt.Errorf("jobs: parsing tenant config %s: %w", path, err)
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("jobs: tenant config %s declares no tenants", path)
+	}
+	seen := make(map[string]bool, len(tenants))
+	for _, t := range tenants {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("jobs: duplicate tenant %s", t.Name)
+		}
+		seen[t.Name] = true
+	}
+	return tenants, nil
+}
+
+// tenantState is one tenant's runtime admission state: config plus the
+// token bucket.
+type tenantState struct {
+	cfg Tenant
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// takeToken refills by elapsed wall time and consumes one token, reporting
+// whether the submission is within quota.
+func (s *tenantState) takeToken(now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.last.IsZero() {
+		s.tokens = s.cfg.Burst
+	} else if dt := now.Sub(s.last).Seconds(); dt > 0 {
+		s.tokens += dt * s.cfg.Rate
+		if s.tokens > s.cfg.Burst {
+			s.tokens = s.cfg.Burst
+		}
+	}
+	s.last = now
+	if s.tokens < 1 {
+		return false
+	}
+	s.tokens--
+	return true
+}
+
+// tenantSet indexes tenant runtime state by name.
+type tenantSet struct {
+	m map[string]*tenantState
+}
+
+func newTenantSet(tenants []Tenant) (*tenantSet, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("jobs: no tenants configured")
+	}
+	set := &tenantSet{m: make(map[string]*tenantState, len(tenants))}
+	for _, t := range tenants {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := set.m[t.Name]; dup {
+			return nil, fmt.Errorf("jobs: duplicate tenant %s", t.Name)
+		}
+		set.m[t.Name] = &tenantState{cfg: t}
+	}
+	return set, nil
+}
+
+func (s *tenantSet) lookup(name string) (*tenantState, bool) {
+	t, ok := s.m[name]
+	return t, ok
+}

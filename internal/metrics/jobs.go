@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Job-gateway metrics: one bundle of counters per tenant, so quota and
+// fair-share policy decisions stay attributable. Tenant names are operator
+// configuration (never analyst-supplied), so the label cardinality is
+// bounded by the tenant config file.
+
+// TenantJobs holds one tenant's job counters.
+type TenantJobs struct {
+	// Submitted counts every job the tenant offered; Admitted the ones that
+	// passed quota + validation; Rejected the quota/validation refusals.
+	// Admitted jobs end as exactly one of Completed or Failed.
+	Submitted Counter
+	Admitted  Counter
+	Rejected  Counter
+	Completed Counter
+	Failed    Counter
+	// Queued is the number of admitted jobs waiting for or holding an
+	// execution slot.
+	Queued Gauge
+	// JobNanos is the admitted-to-finished latency distribution.
+	JobNanos Histogram
+}
+
+// JobMetrics is the per-tenant registry. The zero value is ready to use.
+type JobMetrics struct {
+	mu      sync.Mutex
+	tenants map[string]*TenantJobs
+}
+
+// Tenant returns (creating on first use) the named tenant's counters.
+func (m *JobMetrics) Tenant(name string) *TenantJobs {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.tenants == nil {
+		m.tenants = make(map[string]*TenantJobs)
+	}
+	t := m.tenants[name]
+	if t == nil {
+		t = &TenantJobs{}
+		m.tenants[name] = t
+	}
+	return t
+}
+
+// sorted returns the tenants in stable name order for rendering.
+func (m *JobMetrics) sorted() (names []string, rows []*TenantJobs) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names = make([]string, 0, len(m.tenants))
+	for n := range m.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rows = make([]*TenantJobs, len(names))
+	for i, n := range names {
+		rows[i] = m.tenants[n]
+	}
+	return names, rows
+}
+
+// TenantSnapshot is one tenant's row in the JSON jobs document.
+type TenantSnapshot struct {
+	Tenant      string  `json:"tenant"`
+	Submitted   int64   `json:"submitted"`
+	Admitted    int64   `json:"admitted"`
+	Rejected    int64   `json:"rejected"`
+	Completed   int64   `json:"completed"`
+	Failed      int64   `json:"failed"`
+	Queued      int64   `json:"queued"`
+	QueuedPeak  int64   `json:"queued_peak"`
+	JobP50Milli float64 `json:"job_p50_ms"`
+	JobP99Milli float64 `json:"job_p99_ms"`
+}
+
+// Snapshot returns every tenant's counters in name order.
+func (m *JobMetrics) Snapshot() []TenantSnapshot {
+	names, rows := m.sorted()
+	out := make([]TenantSnapshot, len(names))
+	for i, t := range rows {
+		h := t.JobNanos.Snapshot()
+		out[i] = TenantSnapshot{
+			Tenant:      names[i],
+			Submitted:   t.Submitted.Value(),
+			Admitted:    t.Admitted.Value(),
+			Rejected:    t.Rejected.Value(),
+			Completed:   t.Completed.Value(),
+			Failed:      t.Failed.Value(),
+			Queued:      t.Queued.Value(),
+			QueuedPeak:  t.Queued.Max(),
+			JobP50Milli: float64(h.P50) / 1e6,
+			JobP99Milli: float64(h.P99) / 1e6,
+		}
+	}
+	return out
+}
+
+// Handler serves the per-tenant job counters as JSON (the gateway's
+// /stats/jobs document).
+func (m *JobMetrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		doc := struct {
+			Tenants []TenantSnapshot `json:"tenants"`
+		}{Tenants: m.Snapshot()}
+		if doc.Tenants == nil {
+			doc.Tenants = []TenantSnapshot{}
+		}
+		_ = enc.Encode(doc)
+	})
+}
+
+// WritePromJobs renders the per-tenant job families in exposition format,
+// appended after WriteProm on the gateway's /metrics.
+func WritePromJobs(w io.Writer, m *JobMetrics) error {
+	var b bytes.Buffer
+	names, rows := m.sorted()
+
+	promHeader(&b, "privstats_jobs_total", "counter", "Jobs per tenant by outcome; submitted = admitted + rejected.")
+	for i, n := range names {
+		t := rows[i]
+		for _, s := range []struct {
+			state string
+			v     int64
+		}{
+			{"submitted", t.Submitted.Value()},
+			{"admitted", t.Admitted.Value()},
+			{"rejected", t.Rejected.Value()},
+			{"completed", t.Completed.Value()},
+			{"failed", t.Failed.Value()},
+		} {
+			fmt.Fprintf(&b, "privstats_jobs_total{tenant=\"%s\",state=\"%s\"} %d\n", promEscape(n), s.state, s.v)
+		}
+	}
+
+	promHeader(&b, "privstats_jobs_queued", "gauge", "Admitted jobs waiting for or holding an execution slot.")
+	for i, n := range names {
+		fmt.Fprintf(&b, "privstats_jobs_queued{tenant=\"%s\"} %d\n", promEscape(n), rows[i].Queued.Value())
+	}
+	promHeader(&b, "privstats_jobs_queued_peak", "gauge", "High-water mark of queued jobs per tenant.")
+	for i, n := range names {
+		fmt.Fprintf(&b, "privstats_jobs_queued_peak{tenant=\"%s\"} %d\n", promEscape(n), rows[i].Queued.Max())
+	}
+
+	promHeader(&b, "privstats_job_seconds", "histogram", "Admitted-to-finished job latency per tenant.")
+	for i, n := range names {
+		writePromHist(&b, "privstats_job_seconds", `tenant="`+promEscape(n)+`",`, &rows[i].JobNanos)
+	}
+
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// PromHandlerJobs serves /metrics for a job gateway: the server families
+// (when sm is non-nil), then the cluster families (when cm is non-nil), then
+// the per-tenant job families (when jm is non-nil). PromHandler stays as-is
+// for daemons without a job layer.
+func PromHandlerJobs(sm *ServerMetrics, cm *ClusterMetrics, jm *JobMetrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		var b bytes.Buffer
+		if sm != nil {
+			_ = WriteProm(&b, sm, time.Now())
+		}
+		if cm != nil {
+			_ = WritePromCluster(&b, cm)
+		}
+		if jm != nil {
+			_ = WritePromJobs(&b, jm)
+		}
+		_, _ = w.Write(b.Bytes())
+	})
+}

@@ -19,7 +19,7 @@ import (
 // counters, fixed histogram observations, and a pinned clock. Everything the
 // exposition renders is a pure function of this fixture, which is what makes
 // the golden file stable.
-func promFixture() (*ServerMetrics, *ClusterMetrics, time.Time) {
+func promFixture() (*ServerMetrics, *ClusterMetrics, *JobMetrics, time.Time) {
 	t0 := time.Unix(1700000000, 0)
 	sm := &ServerMetrics{}
 	sm.StartClock(t0)
@@ -57,16 +57,35 @@ func promFixture() (*ServerMetrics, *ClusterMetrics, time.Time) {
 	b2 := cm.Backend(`weird"addr\with spaces`)
 	b2.Sessions.Inc()
 
-	return sm, cm, t0.Add(90 * time.Second)
+	jm := &JobMetrics{}
+	acme := jm.Tenant("acme")
+	acme.Submitted.Add(9)
+	acme.Admitted.Add(6)
+	acme.Rejected.Add(3)
+	acme.Completed.Add(5)
+	acme.Failed.Inc()
+	acme.Queued.Inc() // queued 1, peak 1
+	acme.JobNanos.Observe(4_000_000)
+	acme.JobNanos.Observe(12_000_000)
+	beta := jm.Tenant("beta")
+	beta.Submitted.Add(2)
+	beta.Admitted.Add(2)
+	beta.Completed.Add(2)
+	// beta.JobNanos left empty: renders as bare +Inf/sum/count.
+
+	return sm, cm, jm, t0.Add(90 * time.Second)
 }
 
-func renderProm(t *testing.T, sm *ServerMetrics, cm *ClusterMetrics, now time.Time) string {
+func renderProm(t *testing.T, sm *ServerMetrics, cm *ClusterMetrics, jm *JobMetrics, now time.Time) string {
 	t.Helper()
 	var b bytes.Buffer
 	if err := WriteProm(&b, sm, now); err != nil {
 		t.Fatal(err)
 	}
 	if err := WritePromCluster(&b, cm); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePromJobs(&b, jm); err != nil {
 		t.Fatal(err)
 	}
 	return b.String()
@@ -77,8 +96,8 @@ func renderProm(t *testing.T, sm *ServerMetrics, cm *ClusterMetrics, now time.Ti
 // for dashboards and alerts — if a rename or format change is intentional,
 // regenerate with UPDATE_GOLDEN=1 and review the diff like an API change.
 func TestPromGolden(t *testing.T) {
-	sm, cm, now := promFixture()
-	got := renderProm(t, sm, cm, now)
+	sm, cm, jm, now := promFixture()
+	got := renderProm(t, sm, cm, jm, now)
 
 	path := filepath.Join("testdata", "metrics.prom")
 	if os.Getenv("UPDATE_GOLDEN") != "" {
@@ -103,8 +122,8 @@ func TestPromGolden(t *testing.T) {
 // half of the format contract: what we write must be machine-readable and
 // numerically faithful.
 func TestPromRoundTrip(t *testing.T) {
-	sm, cm, now := promFixture()
-	vals, err := testutil.ParseProm(renderProm(t, sm, cm, now))
+	sm, cm, jm, now := promFixture()
+	vals, err := testutil.ParseProm(renderProm(t, sm, cm, jm, now))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,6 +152,15 @@ func TestPromRoundTrip(t *testing.T) {
 		`privstats_cluster_backend_errors_total{backend="127.0.0.1:9001"}`:             2,
 		`privstats_cluster_backend_busy_total{backend="127.0.0.1:9001"}`:               1,
 		`privstats_cluster_backend_sessions_total{backend="weird\"addr\\with spaces"}`: 1,
+		`privstats_jobs_total{tenant="acme",state="submitted"}`:                        9,
+		`privstats_jobs_total{tenant="acme",state="admitted"}`:                         6,
+		`privstats_jobs_total{tenant="acme",state="rejected"}`:                         3,
+		`privstats_jobs_total{tenant="acme",state="completed"}`:                        5,
+		`privstats_jobs_total{tenant="acme",state="failed"}`:                           1,
+		`privstats_jobs_total{tenant="beta",state="submitted"}`:                        2,
+		`privstats_jobs_queued{tenant="acme"}`:                                         1,
+		`privstats_jobs_queued_peak{tenant="acme"}`:                                    1,
+		`privstats_jobs_queued{tenant="beta"}`:                                         0,
 	}
 	for k, want := range checks {
 		got, ok := vals[k]
@@ -154,6 +182,8 @@ func TestPromRoundTrip(t *testing.T) {
 		`privstats_phase_seconds@phase="finalize"`: &sm.FinalizeNanos,
 		`privstats_phase_seconds@phase="session"`:  &sm.SessionNanos,
 		`privstats_cluster_combine_seconds@`:       &cm.CombineNanos,
+		`privstats_job_seconds@tenant="acme"`:      &jm.Tenant("acme").JobNanos,
+		`privstats_job_seconds@tenant="beta"`:      &jm.Tenant("beta").JobNanos,
 	} {
 		fam, label, _ := strings.Cut(name, "@")
 		_, count, sum := h.Buckets()
@@ -215,7 +245,7 @@ func parseLe(t *testing.T, s string) float64 {
 // TestPromHandler checks the mounted endpoint: content type and that the body
 // parses. The nil-cluster form is what a plain backend mounts.
 func TestPromHandler(t *testing.T) {
-	sm, cm, _ := promFixture()
+	sm, cm, _, _ := promFixture()
 	for _, tc := range []struct {
 		name string
 		cm   *ClusterMetrics
@@ -239,5 +269,30 @@ func TestPromHandler(t *testing.T) {
 				t.Errorf("cluster families present=%v, want %v", hasCluster, tc.cm != nil)
 			}
 		})
+	}
+}
+
+// TestPromHandlerJobs checks the gateway-flavored endpoint: all three metric
+// groups present and parseable.
+func TestPromHandlerJobs(t *testing.T) {
+	sm, cm, jm, _ := promFixture()
+	rr := httptest.NewRecorder()
+	PromHandlerJobs(sm, cm, jm).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, PromContentType)
+	}
+	body, _ := io.ReadAll(rr.Body)
+	vals, err := testutil.ParseProm(string(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{
+		`privstats_sessions_total{state="started"}`,
+		"privstats_cluster_queries_total",
+		`privstats_jobs_total{tenant="acme",state="submitted"}`,
+	} {
+		if _, ok := vals[k]; !ok {
+			t.Errorf("series %q missing from exposition", k)
+		}
 	}
 }

@@ -1,0 +1,104 @@
+package selectedsum
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"privstats/internal/database"
+	"privstats/internal/wire"
+)
+
+// Multi-column sessions: one uplink of the encrypted selection, one MsgSum
+// per requested column in ascending bit order.
+
+func TestQueryColumnsEndToEnd(t *testing.T) {
+	sk := testKey(t)
+	table, sel, wantSum := fixture(t, 90, 45)
+	wantSq, err := table.SelectedSumOfSquares(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount := big.NewInt(int64(sel.Count()))
+
+	conn, errc := servePair(t, table)
+	sums, err := QueryColumns(conn, sk, sel, 10, nil, wire.ColValue|wire.ColSquare|wire.ColOnes)
+	if err != nil {
+		t.Fatalf("QueryColumns: %v", err)
+	}
+	if len(sums) != 3 {
+		t.Fatalf("got %d sums, want 3", len(sums))
+	}
+	if sums[0].Cmp(wantSum) != 0 {
+		t.Errorf("value sum = %v, want %v", sums[0], wantSum)
+	}
+	if sums[1].Cmp(wantSq) != 0 {
+		t.Errorf("square sum = %v, want %v", sums[1], wantSq)
+	}
+	if sums[2].Cmp(wantCount) != 0 {
+		t.Errorf("ones sum = %v, want %v", sums[2], wantCount)
+	}
+	if err := <-errc; err != nil {
+		t.Errorf("Serve: %v", err)
+	}
+}
+
+func TestQueryColumnsValueOnlyMatchesQuery(t *testing.T) {
+	sk := testKey(t)
+	table, sel, want := fixture(t, 40, 17)
+	conn, errc := servePair(t, table)
+
+	// A value-only column set degrades to the classic session.
+	sums, err := QueryColumns(conn, sk, sel, 0, nil, wire.ColValue)
+	if err != nil {
+		t.Fatalf("QueryColumns: %v", err)
+	}
+	if len(sums) != 1 || sums[0].Cmp(want) != 0 {
+		t.Errorf("sums = %v, want [%v]", sums, want)
+	}
+	if err := <-errc; err != nil {
+		t.Errorf("Serve: %v", err)
+	}
+}
+
+func TestServeRejectsUnknownColumnBits(t *testing.T) {
+	table := database.New([]uint32{1, 2, 3})
+	conn, errc := servePair(t, table)
+
+	hello := wire.Hello{
+		Version:   wire.Version,
+		Scheme:    "paillier",
+		PublicKey: mustKeyBytes(t),
+		VectorLen: 3,
+		Columns:   1 << 9,
+	}
+	if err := conn.Send(wire.MsgHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.MsgError {
+		t.Fatalf("expected MsgError, got %#x", byte(f.Type))
+	}
+	perr := wire.DecodeError(f.Payload)
+	if wire.ErrorCodeOf(perr) != wire.CodeProtocol {
+		t.Errorf("error code = %q, want protocol: %v", wire.ErrorCodeOf(perr), perr)
+	}
+	if !strings.Contains(perr.Error(), "unknown column") {
+		t.Errorf("error should name the unknown column bits: %v", perr)
+	}
+	if serr := <-errc; serr == nil {
+		t.Error("Serve should fail on unknown column bits")
+	}
+}
+
+func mustKeyBytes(t *testing.T) []byte {
+	t.Helper()
+	b, err := testKey(t).PublicKey().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -115,12 +115,34 @@ func ServeTimed(conn *wire.Conn, table *database.Table, timings *PhaseTimings) e
 	if err != nil {
 		return fail(err)
 	}
+	if !hello.Columns.Valid() {
+		return fail(fmt.Errorf("selectedsum: unknown column bits in set %s", hello.Columns))
+	}
+	cols := hello.EffectiveColumns()
 	// A non-zero RowOffset scopes the session to a shard of a larger
 	// logical database: this table serves rows [RowOffset,
-	// RowOffset+VectorLen) and index chunks keep their global offsets.
-	srv, err := NewShardSession(pk, table.Column(), hello.VectorLen, hello.RowOffset)
-	if err != nil {
-		return fail(err)
+	// RowOffset+VectorLen) and index chunks keep their global offsets. One
+	// shard session per requested column: a multi-column session absorbs
+	// each uplink chunk into every fold and replies with one sum per
+	// column, in ascending bit order — the paper's variance trick (one
+	// uplink, several response ciphertexts) at the wire layer.
+	sessions := make([]*ServerSession, 0, cols.Count())
+	for _, col := range []struct {
+		bit  wire.ColumnSet
+		data database.Column
+	}{
+		{wire.ColValue, table.Column()},
+		{wire.ColSquare, table.SquareColumn()},
+		{wire.ColOnes, database.Ones(table.Len())},
+	} {
+		if !cols.Has(col.bit) {
+			continue
+		}
+		srv, err := NewShardSession(pk, col.data, hello.VectorLen, hello.RowOffset)
+		if err != nil {
+			return fail(err)
+		}
+		sessions = append(sessions, srv)
 	}
 	timings.Hello = time.Since(helloStart)
 
@@ -135,6 +157,9 @@ func ServeTimed(conn *wire.Conn, table *database.Table, timings *PhaseTimings) e
 	tr.Annotate("rows", strconv.FormatUint(hello.VectorLen, 10))
 	if hello.RowOffset != 0 {
 		tr.Annotate("row_offset", strconv.FormatUint(hello.RowOffset, 10))
+	}
+	if hello.Columns != 0 {
+		tr.Annotate("columns", cols.String())
 	}
 	tr.Observe("hello", helloStart, timings.Hello, nil)
 
@@ -167,8 +192,11 @@ func ServeTimed(conn *wire.Conn, table *database.Table, timings *PhaseTimings) e
 			if err != nil {
 				return fail(err)
 			}
-			if err := srv.Absorb(chunk); err != nil {
-				return fail(err)
+			// One uplink chunk feeds every requested fold.
+			for _, srv := range sessions {
+				if err := srv.Absorb(chunk); err != nil {
+					return fail(err)
+				}
 			}
 			timings.Absorb += time.Since(chunkStart)
 		case wire.MsgDone:
@@ -180,15 +208,20 @@ func ServeTimed(conn *wire.Conn, table *database.Table, timings *PhaseTimings) e
 					map[string]string{"chunks": strconv.Itoa(chunks)})
 			}
 			finStart := time.Now()
-			sumCt, err := srv.Finalize(nil)
-			if err != nil {
-				return fail(err)
+			bodies := make([][]byte, len(sessions))
+			for i, srv := range sessions {
+				sumCt, err := srv.Finalize(nil)
+				if err != nil {
+					return fail(err)
+				}
+				bodies[i] = sumCt.Bytes()
 			}
-			body := sumCt.Bytes()
 			timings.Finalize = time.Since(finStart)
 			tr.Observe("finalize", finStart, timings.Finalize, nil)
-			if err := conn.Send(wire.MsgSum, body); err != nil {
-				return fmt.Errorf("selectedsum: sending sum: %w", err)
+			for _, body := range bodies {
+				if err := conn.Send(wire.MsgSum, body); err != nil {
+					return fmt.Errorf("selectedsum: sending sum: %w", err)
+				}
 			}
 			return nil
 		case wire.MsgError:
@@ -236,6 +269,26 @@ func Query(conn *wire.Conn, sk homomorphic.PrivateKey, sel *database.Selection, 
 	return QueryVector(conn, sk, selectionSource{sel: sel, enc: enc}, chunkSize)
 }
 
+// QueryColumns runs one multi-column session: the encrypted selection is
+// uploaded once and the server folds it against every column in cols,
+// replying with one sum per set bit in ascending bit order. The returned
+// slice has cols.Count() decrypted sums in that same order. An empty (or
+// value-only) set degrades to the classic single-sum session, byte-identical
+// on the wire to a pre-columns client.
+func QueryColumns(conn *wire.Conn, sk homomorphic.PrivateKey, sel *database.Selection, chunkSize int, pool homomorphic.EncryptorPool, cols wire.ColumnSet) ([]*big.Int, error) {
+	if sk == nil {
+		return nil, errors.New("selectedsum: nil private key")
+	}
+	if !cols.Valid() {
+		return nil, fmt.Errorf("selectedsum: unknown column bits in set %s", cols)
+	}
+	var enc BitEncryptor = Online{PK: sk.PublicKey()}
+	if pool != nil {
+		enc = Pooled{Pool: pool}
+	}
+	return queryVector(conn, sk, selectionSource{sel: sel, enc: enc}, chunkSize, cols)
+}
+
 // QueryVector is Query over an arbitrary encrypted-vector source — the
 // weighted-sum generalization of the paper's Section 2 ("integer weights in
 // some larger range could be used"). The server is oblivious to the
@@ -248,11 +301,26 @@ func Query(conn *wire.Conn, sk homomorphic.PrivateKey, sel *database.Selection, 
 // client only notices via a broken-pipe write error once the server hangs
 // up, and the RST that follows can destroy the unread explanation.
 func QueryVector(conn *wire.Conn, sk homomorphic.PrivateKey, src VectorSource, chunkSize int) (*big.Int, error) {
+	sums, err := queryVector(conn, sk, src, chunkSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	return sums[0], nil
+}
+
+// queryVector is the shared client loop: upload once, collect one decrypted
+// sum per requested column (cols == 0 means the classic value-only session,
+// encoded without the columns trailer so old servers still parse).
+func queryVector(conn *wire.Conn, sk homomorphic.PrivateKey, src VectorSource, chunkSize int, cols wire.ColumnSet) ([]*big.Int, error) {
 	if sk == nil {
 		return nil, errors.New("selectedsum: nil private key")
 	}
 	if src == nil {
 		return nil, errors.New("selectedsum: nil vector source")
+	}
+	if cols == wire.ColValue {
+		// Value-only is the wire default; omit the trailer for interop.
+		cols = 0
 	}
 	pk := sk.PublicKey()
 	n := src.Len()
@@ -273,6 +341,7 @@ func QueryVector(conn *wire.Conn, sk homomorphic.PrivateKey, src VectorSource, c
 		// An armed (non-zero) conn trace ID travels in the hello trailer;
 		// the zero default emits no trailer, so old servers still parse.
 		TraceID: conn.TraceID(),
+		Columns: cols,
 	}
 	if conn.CRCEnabled() {
 		hello.Flags |= wire.HelloFlagFrameCRC
@@ -290,8 +359,9 @@ func QueryVector(conn *wire.Conn, sk homomorphic.PrivateKey, src VectorSource, c
 	}
 	conn.SetMaxFrame(limit + 64)
 
-	// The server sends exactly one frame per session (the sum, or an early
-	// error), so a single background Recv covers the whole exchange.
+	// The server's first frame (the first sum, or an early error) is read
+	// by a single background Recv; any further sums of a multi-column
+	// session arrive strictly after it and are read inline below.
 	type response struct {
 		f   wire.Frame
 		err error
@@ -369,29 +439,42 @@ func QueryVector(conn *wire.Conn, sk homomorphic.PrivateKey, src VectorSource, c
 		return nil, fmt.Errorf("selectedsum: sending done: %w", err)
 	}
 
-	r := <-respc
-	if r.err != nil {
-		return nil, fmt.Errorf("selectedsum: reading sum: %w", r.err)
+	want := cols.Count()
+	sums := make([]*big.Int, 0, want)
+	for i := 0; i < want; i++ {
+		var r response
+		if i == 0 {
+			r = <-respc
+		} else {
+			r.f, r.err = conn.Recv()
+		}
+		if r.err != nil {
+			return nil, fmt.Errorf("selectedsum: reading sum %d/%d: %w", i+1, want, r.err)
+		}
+		switch r.f.Type {
+		case wire.MsgSum:
+			if conn.CRCEnabled() && !r.f.CRC {
+				return nil, fmt.Errorf("selectedsum: plain frame type %#x in a CRC session: %w", byte(r.f.Type), wire.ErrFrameCorrupt)
+			}
+			ct, err := pk.ParseCiphertext(r.f.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("selectedsum: parsing sum ciphertext: %w", err)
+			}
+			sum, err := sk.Decrypt(ct)
+			if err != nil {
+				return nil, fmt.Errorf("selectedsum: decrypting sum: %w", err)
+			}
+			sums = append(sums, sum)
+		case wire.MsgError:
+			return nil, wire.DecodeError(r.f.Payload)
+		default:
+			if conn.CRCEnabled() && !r.f.CRC {
+				// Impossible plain type in a CRC session: a corrupted header,
+				// classified retryable rather than protocol-fatal.
+				return nil, fmt.Errorf("selectedsum: plain frame type %#x in a CRC session: %w", byte(r.f.Type), wire.ErrFrameCorrupt)
+			}
+			return nil, fmt.Errorf("selectedsum: expected sum, got message type %#x", byte(r.f.Type))
+		}
 	}
-	switch r.f.Type {
-	case wire.MsgSum:
-		ct, err := pk.ParseCiphertext(r.f.Payload)
-		if err != nil {
-			return nil, fmt.Errorf("selectedsum: parsing sum ciphertext: %w", err)
-		}
-		sum, err := sk.Decrypt(ct)
-		if err != nil {
-			return nil, fmt.Errorf("selectedsum: decrypting sum: %w", err)
-		}
-		return sum, nil
-	case wire.MsgError:
-		return nil, wire.DecodeError(r.f.Payload)
-	default:
-		if conn.CRCEnabled() && !r.f.CRC {
-			// Impossible plain type in a CRC session: a corrupted header,
-			// classified retryable rather than protocol-fatal.
-			return nil, fmt.Errorf("selectedsum: plain frame type %#x in a CRC session: %w", byte(r.f.Type), wire.ErrFrameCorrupt)
-		}
-		return nil, fmt.Errorf("selectedsum: expected sum, got message type %#x", byte(r.f.Type))
-	}
+	return sums, nil
 }

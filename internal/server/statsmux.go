@@ -17,6 +17,9 @@ type StatsMuxConfig struct {
 	Prom http.Handler
 	// Traces, when non-nil, serves the recent-trace ring as JSON at /traces.
 	Traces *trace.Recorder
+	// Jobs, when non-nil, serves the stats-job gateway under /jobs (submit
+	// and status; the handler sees paths relative to that prefix).
+	Jobs http.Handler
 	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default: the
 	// stats listener is often bound wider than localhost, and profiles are
 	// an operational decision, not a free default.
@@ -38,6 +41,10 @@ func StatsMux(cfg StatsMuxConfig) *http.ServeMux {
 	}
 	if cfg.Traces != nil {
 		mux.Handle("/traces", cfg.Traces.Handler())
+	}
+	if cfg.Jobs != nil {
+		mux.Handle("/jobs", http.StripPrefix("/jobs", cfg.Jobs))
+		mux.Handle("/jobs/", http.StripPrefix("/jobs", cfg.Jobs))
 	}
 	if cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -14,10 +14,15 @@ import (
 // profiles on a wide-bound stats port must be a deliberate choice.
 func TestStatsMuxMounts(t *testing.T) {
 	sm := &metrics.ServerMetrics{}
+	jobs := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Echo the stripped path so the test can assert the prefix handling.
+		w.Header().Set("X-Jobs-Path", r.URL.Path)
+	})
 	full := StatsMux(StatsMuxConfig{
 		Stats:  sm.Handler(),
 		Prom:   metrics.PromHandler(sm, nil),
 		Traces: trace.NewRecorder(4),
+		Jobs:   jobs,
 		Pprof:  true,
 	})
 	empty := StatsMux(StatsMuxConfig{})
@@ -29,6 +34,8 @@ func TestStatsMuxMounts(t *testing.T) {
 		{"/stats", http.StatusOK, http.StatusNotFound},
 		{"/metrics", http.StatusOK, http.StatusNotFound},
 		{"/traces", http.StatusOK, http.StatusNotFound},
+		{"/jobs", http.StatusOK, http.StatusNotFound},
+		{"/jobs/some-id", http.StatusOK, http.StatusNotFound},
 		{"/debug/pprof/", http.StatusOK, http.StatusNotFound},
 		{"/debug/pprof/cmdline", http.StatusOK, http.StatusNotFound},
 	}
@@ -50,5 +57,14 @@ func TestStatsMuxMounts(t *testing.T) {
 	full.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
 	if ct := rr.Header().Get("Content-Type"); ct != metrics.PromContentType {
 		t.Errorf("/metrics Content-Type = %q, want %q", ct, metrics.PromContentType)
+	}
+
+	// The jobs handler sees paths relative to its /jobs mount.
+	for path, want := range map[string]string{"/jobs": "", "/jobs/abc123": "/abc123"} {
+		rr := httptest.NewRecorder()
+		full.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if got := rr.Header().Get("X-Jobs-Path"); got != want {
+			t.Errorf("GET %s reached jobs handler with path %q, want %q", path, got, want)
+		}
 	}
 }

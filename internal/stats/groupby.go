@@ -32,12 +32,6 @@ func (g *GroupedSums) Mean(group int) *big.Rat {
 	return new(big.Rat).SetFrac(g.Sums[group], g.Counts[group])
 }
 
-// onesColumn is the constant-1 column the count fold runs against.
-type onesColumn struct{ n int }
-
-func (c onesColumn) Len() int    { return c.n }
-func (onesColumn) At(int) uint64 { return 1 }
-
 // GroupByQuery privately computes per-group sums and counts of the selected
 // rows. labels[i] assigns row i to a group in [0, groups); the labels are
 // the server's public schema.
@@ -52,7 +46,7 @@ func (a *Analyst) GroupByQuery(table *database.Table, sel *database.Selection, l
 	if err != nil {
 		return nil, Cost{}, err
 	}
-	countSession, err := selectedsum.NewGroupedSession(pk, onesColumn{n: n}, labels, groups)
+	countSession, err := selectedsum.NewGroupedSession(pk, database.Ones(n), labels, groups)
 	if err != nil {
 		return nil, Cost{}, err
 	}

@@ -90,6 +90,9 @@ func FuzzDecodeHello(f *testing.F) {
 	traced := h
 	traced.TraceID = [16]byte{1, 2, 3, 4}
 	f.Add(traced.Encode())
+	multi := h
+	multi.Columns = ColValue | ColSquare
+	f.Add(multi.Encode())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := DecodeHello(data)
 		if err != nil {
@@ -109,7 +112,7 @@ func FuzzDecodeHello(f *testing.F) {
 			!bytes.Equal(again.PublicKey, got.PublicKey) ||
 			again.VectorLen != got.VectorLen || again.ChunkLen != got.ChunkLen ||
 			again.RowOffset != got.RowOffset || again.Flags != got.Flags ||
-			again.TraceID != got.TraceID {
+			again.TraceID != got.TraceID || again.Columns != got.Columns {
 			t.Fatal("hello round trip not value-preserving")
 		}
 		if !bytes.Equal(again.Encode(), enc) {

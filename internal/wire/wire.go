@@ -193,6 +193,69 @@ const (
 	HelloFlagFrameCRC uint32 = 1 << 0
 )
 
+// ColumnSet selects which server-side derived columns a session folds the
+// encrypted index vector against. It is a bitmask so one uplink can feed
+// several folds — the paper's variance trick ("one uplink and two response
+// ciphertexts") generalized to the wire: the server replies with one MsgSum
+// per set bit, in ascending bit order.
+type ColumnSet uint32
+
+// Column bits. The zero value means "value column only", which keeps the
+// hello parseable by (and equivalent for) pre-columns peers.
+const (
+	// ColValue folds against the raw value column x_i.
+	ColValue ColumnSet = 1 << 0
+	// ColSquare folds against the derived square column x_i².
+	ColSquare ColumnSet = 1 << 1
+	// ColOnes folds against the constant-1 column, yielding the selected
+	// count m without revealing the selection.
+	ColOnes ColumnSet = 1 << 2
+
+	// colAll is the union of every known bit.
+	colAll = ColValue | ColSquare | ColOnes
+)
+
+// Valid reports whether the set names only known columns (the empty set is
+// valid: it means the default value-only session).
+func (c ColumnSet) Valid() bool { return c&^colAll == 0 }
+
+// Has reports whether bit col is set.
+func (c ColumnSet) Has(col ColumnSet) bool { return c&col != 0 }
+
+// Count returns the number of selected columns — the number of MsgSum
+// frames a server replies with. The empty set counts as one (value only).
+func (c ColumnSet) Count() int {
+	if c == 0 {
+		return 1
+	}
+	n := 0
+	for b := c; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// String names the set for logs and errors, e.g. "value|square".
+func (c ColumnSet) String() string {
+	if c == 0 {
+		return "value"
+	}
+	var parts []string
+	if c.Has(ColValue) {
+		parts = append(parts, "value")
+	}
+	if c.Has(ColSquare) {
+		parts = append(parts, "square")
+	}
+	if c.Has(ColOnes) {
+		parts = append(parts, "ones")
+	}
+	if rest := c &^ colAll; rest != 0 {
+		parts = append(parts, fmt.Sprintf("unknown(%#x)", uint32(rest)))
+	}
+	return strings.Join(parts, "|")
+}
+
 // Hello is the session-opening message.
 type Hello struct {
 	Version uint32
@@ -222,16 +285,30 @@ type Hello struct {
 	// whole fan-out together. The all-zero value means "no trace" and is
 	// not sent on the wire, keeping the hello parseable by pre-trace peers.
 	TraceID [16]byte
+	// Columns selects which derived columns the session folds against
+	// (Col* bits); the server replies with one MsgSum per column in
+	// ascending bit order. Zero means "value column only" and is not sent
+	// on the wire, keeping the hello parseable by pre-columns peers.
+	Columns ColumnSet
 }
 
 // HasTraceID reports whether the hello carries a (non-zero) trace ID.
 func (h *Hello) HasTraceID() bool { return h.TraceID != [16]byte{} }
 
+// EffectiveColumns normalizes the column set: the wire's zero value means a
+// plain value-column session.
+func (h *Hello) EffectiveColumns() ColumnSet {
+	if h.Columns == 0 {
+		return ColValue
+	}
+	return h.Columns
+}
+
 // Encode serializes h. The trailer is emitted in its shortest accepted
 // form — flags are appended only when set — so a flagless hello stays
 // parseable by pre-flags peers.
 func (h *Hello) Encode() []byte {
-	b := make([]byte, 0, 4+4+len(h.Scheme)+4+len(h.PublicKey)+8+4+8+4+16)
+	b := make([]byte, 0, 4+4+len(h.Scheme)+4+len(h.PublicKey)+8+4+8+4+16+4)
 	b = binary.BigEndian.AppendUint32(b, h.Version)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(h.Scheme)))
 	b = append(b, h.Scheme...)
@@ -240,13 +317,16 @@ func (h *Hello) Encode() []byte {
 	b = binary.BigEndian.AppendUint64(b, h.VectorLen)
 	b = binary.BigEndian.AppendUint32(b, h.ChunkLen)
 	b = binary.BigEndian.AppendUint64(b, h.RowOffset)
-	if h.Flags != 0 || h.HasTraceID() {
-		// A trace ID forces the flags word out too (even when zero): the
-		// trailer forms are distinguished by length alone.
+	if h.Flags != 0 || h.HasTraceID() || h.Columns != 0 {
+		// A trace ID or column set forces the flags word out too (even when
+		// zero): the trailer forms are distinguished by length alone.
 		b = binary.BigEndian.AppendUint32(b, h.Flags)
 	}
-	if h.HasTraceID() {
+	if h.HasTraceID() || h.Columns != 0 {
 		b = append(b, h.TraceID[:]...)
+	}
+	if h.Columns != 0 {
+		b = binary.BigEndian.AppendUint32(b, uint32(h.Columns))
 	}
 	return b
 }
@@ -276,14 +356,18 @@ func DecodeHello(b []byte) (*Hello, error) {
 	}
 	h.PublicKey = append([]byte(nil), b[:keyLen]...)
 	b = b[keyLen:]
-	// Four accepted trailers: the original 12-byte form (vector length +
+	// Five accepted trailers: the original 12-byte form (vector length +
 	// chunk length), the 20-byte shard-scoped form that appends RowOffset,
-	// the 24-byte form that appends session Flags, and the 40-byte form
-	// that appends a 16-byte trace ID. Accepting all keeps earlier clients
-	// interoperable — a missing row offset means "rows start at zero",
-	// missing flags mean "no options", a missing trace ID means "no trace".
-	if len(b) != 12 && len(b) != 20 && len(b) != 24 && len(b) != 40 {
-		return nil, fmt.Errorf("%w: hello has %d trailing bytes, want 12, 20, 24, or 40", ErrBadMessage, len(b))
+	// the 24-byte form that appends session Flags, the 40-byte form that
+	// appends a 16-byte trace ID, and the 44-byte form that appends a
+	// column-set word. Accepting all keeps earlier clients interoperable —
+	// a missing row offset means "rows start at zero", missing flags mean
+	// "no options", a missing trace ID means "no trace", a missing column
+	// set means "value column only".
+	switch len(b) {
+	case 12, 20, 24, 40, 44:
+	default:
+		return nil, fmt.Errorf("%w: hello has %d trailing bytes, want 12, 20, 24, 40, or 44", ErrBadMessage, len(b))
 	}
 	h.VectorLen = binary.BigEndian.Uint64(b)
 	h.ChunkLen = binary.BigEndian.Uint32(b[8:])
@@ -293,8 +377,11 @@ func DecodeHello(b []byte) (*Hello, error) {
 	if len(b) >= 24 {
 		h.Flags = binary.BigEndian.Uint32(b[20:])
 	}
-	if len(b) == 40 {
+	if len(b) >= 40 {
 		copy(h.TraceID[:], b[24:])
+	}
+	if len(b) == 44 {
+		h.Columns = ColumnSet(binary.BigEndian.Uint32(b[40:]))
 	}
 	return &h, nil
 }
