@@ -20,7 +20,7 @@ test:
 # and trace state), and the job gateway (fair-share scheduler + worker
 # goroutines).
 race:
-	$(GO) test -race ./internal/server/ ./internal/selectedsum/ ./internal/cluster/ ./internal/faultnet/ ./internal/wire/ ./internal/jobs/
+	$(GO) test -race ./internal/server/ ./internal/selectedsum/ ./internal/cluster/ ./internal/faultnet/ ./internal/wire/ ./internal/jobs/ ./internal/stock/
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -51,7 +51,7 @@ fuzz-smoke:
 	done; \
 	$(GO) test -fuzz='^FuzzParseShardMapSpec$$' -fuzztime=$(FUZZTIME) ./internal/cluster/; \
 	$(GO) test -fuzz='^FuzzReadTable$$' -fuzztime=$(FUZZTIME) ./internal/database/; \
-	for t in FuzzParseCiphertext FuzzPrivateKeyUnmarshal; do \
+	for t in FuzzParseCiphertext FuzzPrivateKeyUnmarshal FuzzReadBitStore; do \
 		$(GO) test -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) ./internal/paillier/; \
 	done; \
 	$(GO) test -fuzz='^FuzzFoldEquivalence$$' -fuzztime=$(FUZZTIME) ./internal/selectedsum/; \

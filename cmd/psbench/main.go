@@ -183,7 +183,14 @@ func run(cfg bench.Config, fig, csvDir string, chart bool) error {
 			if err != nil {
 				return err
 			}
-			return bench.WritePreprocTable(out, rows)
+			if err := bench.WritePreprocTable(out, rows); err != nil {
+				return err
+			}
+			srows, err := cfg.PreprocessService()
+			if err != nil {
+				return err
+			}
+			return bench.WritePreprocServiceTable(out, srows)
 		}},
 		{"baseline", func() error {
 			rows, err := cfg.Baselines(netsim.ShortDistance)

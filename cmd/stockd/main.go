@@ -1,0 +1,147 @@
+// Command stockd runs preprocessing as a service: a daemon that keeps
+// per-public-key inventories of pre-encrypted 0/1 bits and precomputed r^N
+// randomizers at target depths, and streams batches of them to clients over
+// the stock wire protocol. Clients (sumclient -stock, sumjobd -stock)
+// prefetch from it instead of paying the paper's §3.3 online encryption
+// cost; when stockd is down they silently fall back to online encryption,
+// so a stock outage costs latency, never correctness.
+//
+// stockd holds no secrets: it sees only public keys and mints encryptions of
+// the constants 0 and 1 under them. It learns nothing about any client's
+// selections or any server's data. Keys are admitted on first hello, up to
+// -max-keys.
+//
+// Usage:
+//
+//	stockd -listen :7005 -target-zeros 4096 -target-ones 512
+//	stockd -listen :7005 -state-dir /var/lib/stockd -rate 2000 -stats-addr :7006
+//
+// With -state-dir, inventories survive restarts: stock is persisted on
+// graceful shutdown and restored (fingerprint-checked, so a rotated key's
+// stale files are discarded) when the key next connects.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"privstats/internal/metrics"
+	"privstats/internal/server"
+	"privstats/internal/stock"
+)
+
+// stockdConfig is everything buildInventory validates before a socket opens.
+type stockdConfig struct {
+	targets  stock.Targets
+	maxKeys  int
+	rate     int
+	stateDir string
+}
+
+// buildInventory validates the generation knobs and assembles the daemon's
+// inventory, so every operator mistake surfaces before any socket is opened.
+func buildInventory(cfg stockdConfig) (*stock.Inventory, error) {
+	return stock.NewInventory(stock.InventoryConfig{
+		Targets:  cfg.targets,
+		MaxKeys:  cfg.maxKeys,
+		Rate:     cfg.rate,
+		StateDir: cfg.stateDir,
+		Logf:     log.Printf,
+	})
+}
+
+func main() {
+	listen := flag.String("listen", ":7005", "address to serve stock sessions on")
+	targetZeros := flag.Int("target-zeros", 4096, "per-key inventory depth of encrypted 0 bits")
+	targetOnes := flag.Int("target-ones", 512, "per-key inventory depth of encrypted 1 bits")
+	targetRand := flag.Int("target-randomizers", 0, "per-key inventory depth of precomputed r^N randomizers")
+	maxKeys := flag.Int("max-keys", stock.DefaultMaxKeys, "public keys admitted before hellos get a busy error")
+	rate := flag.Int("rate", 0, "cap stock generation at this many items/second across all keys (0 = unlimited)")
+	stateDir := flag.String("state-dir", "", "persist inventories here on shutdown and restore on admission (empty = off)")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "max concurrent sessions; overflow connections get a busy error")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "fail a session whose client sends nothing for this long (0 = never)")
+	grace := flag.Duration("grace", 30*time.Second, "drain window for in-flight sessions on SIGINT/SIGTERM")
+	statsAddr := flag.String("stats-addr", "", "serve inventory depths as JSON on http://<addr>/stats plus Prometheus /metrics (empty = off)")
+	logEvery := flag.Duration("log-every", time.Minute, "interval for the periodic metrics log line (0 = off)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -stats-addr")
+	flag.Parse()
+
+	inv, err := buildInventory(stockdConfig{
+		targets:  stock.Targets{Zeros: *targetZeros, Ones: *targetOnes, Randomizers: *targetRand},
+		maxKeys:  *maxKeys,
+		rate:     *rate,
+		stateDir: *stateDir,
+	})
+	if err != nil {
+		log.Fatalf("stockd: %v", err)
+	}
+
+	srv, err := server.NewHandler(&stock.Handler{Inv: inv}, server.Config{
+		MaxSessions: *maxSessions,
+		IdleTimeout: *idleTimeout,
+		LogEvery:    *logEvery,
+	})
+	if err != nil {
+		log.Fatalf("stockd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("stockd: listen: %v", err)
+	}
+	log.Printf("stock daemon on %s (targets %d/%d/%d, max-keys=%d, rate=%d/s)",
+		ln.Addr(), *targetZeros, *targetOnes, *targetRand, *maxKeys, *rate)
+
+	var stats *http.Server
+	if *statsAddr != "" {
+		mux := server.StatsMux(server.StatsMuxConfig{
+			Stats: inv.Metrics().Handler(),
+			Prom:  metrics.PromHandlerStock(srv.Metrics(), inv.Metrics()),
+			Pprof: *pprofFlag,
+		})
+		stats = &http.Server{Addr: *statsAddr, Handler: mux}
+		go func() {
+			log.Printf("stats endpoint on http://%s/stats (plus /metrics)", *statsAddr)
+			if err := stats.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("stockd: stats endpoint: %v", err)
+			}
+		}()
+	}
+
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-sigCtx.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		log.Printf("shutdown requested; draining up to %v", *grace)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("stockd: forced shutdown after grace period: %v", err)
+		}
+	}()
+
+	err = srv.Serve(ln)
+	if err != nil && !errors.Is(err, server.ErrServerClosed) {
+		log.Fatalf("stockd: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	if stats != nil {
+		_ = stats.Shutdown(context.Background())
+	}
+	// Stop the refillers and persist surviving stock (the whole point of a
+	// graceful exit with -state-dir).
+	if err := inv.Close(); err != nil {
+		log.Printf("stockd: persisting inventories: %v", err)
+	}
+	log.Printf("final: %s", srv.Metrics().Summary())
+}

@@ -30,6 +30,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -47,8 +48,32 @@ import (
 	"privstats/internal/jobs"
 	"privstats/internal/paillier"
 	"privstats/internal/selectedsum"
+	"privstats/internal/stock"
 	"privstats/internal/trace"
 )
+
+// errStockConflict marks a flag combination that mixes -stock with another
+// preprocessing source; main rejects it at startup (a structured error and
+// usage) instead of letting the modes fight mid-session.
+var errStockConflict = errors.New("pick one preprocessing source")
+
+// validateStockFlags rejects -stock combined with an incompatible mode: the
+// local sources (-preprocess, -store) would shadow the daemon entirely, and
+// -jobd never runs the protocol in this process at all.
+func validateStockFlags(stockAddr string, preprocess bool, storePath, jobdURL string) error {
+	if stockAddr == "" {
+		return nil
+	}
+	switch {
+	case preprocess:
+		return fmt.Errorf("-stock and -preprocess: %w", errStockConflict)
+	case storePath != "":
+		return fmt.Errorf("-stock and -store: %w", errStockConflict)
+	case jobdURL != "":
+		return fmt.Errorf("-stock and -jobd: %w (the gateway encrypts; give sumjobd the -stock flag instead)", errStockConflict)
+	}
+	return nil
+}
 
 func main() {
 	server := flag.String("server", "localhost:7001", "server address, or a comma-separated failover list (first preferred)")
@@ -61,6 +86,7 @@ func main() {
 	chunk := flag.Int("chunk", 0, "batch the index vector in chunks of this size (0 = single chunk)")
 	preprocess := flag.Bool("preprocess", false, "precompute all index-bit encryptions before connecting (paper §3.3)")
 	storePath := flag.String("store", "", "load preprocessed encryptions from this file (from keygen -store; requires -key)")
+	stockAddr := flag.String("stock", "", "prefetch preprocessed encryptions from a stockd daemon at this address")
 	timeout := flag.Duration("timeout", cluster.DefaultIOTimeout, "dial and per-frame IO deadline (0 = runtime default)")
 	retries := flag.Int("retries", cluster.DefaultRetries, "extra attempts after the first, spread across the -server list")
 	backoff := flag.Duration("backoff", cluster.DefaultBackoff, "base sleep before a retry, doubled each attempt and jittered")
@@ -72,6 +98,12 @@ func main() {
 	jobSpec := flag.String("job", "", "JobSpec for -jobd: inline JSON, or @path to read a file")
 	pollEvery := flag.Duration("poll", 200*time.Millisecond, "status poll interval for -jobd submissions")
 	flag.Parse()
+
+	if err := validateStockFlags(*stockAddr, *preprocess, *storePath, *jobdURL); err != nil {
+		fmt.Fprintf(os.Stderr, "sumclient: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *jobdURL != "" {
 		if err := runJob(*jobdURL, *tenant, *jobSpec, *pollEvery); err != nil {
@@ -93,12 +125,12 @@ func main() {
 		DialHedgeAfter: *dialHedge,
 		UseCRC:         *useCRC,
 	}
-	if err := run(*server, *n, *selectFrac, *indices, *seed, *keyPath, *keyBits, *chunk, *preprocess, *storePath, rt, *traceReq); err != nil {
+	if err := run(*server, *n, *selectFrac, *indices, *seed, *keyPath, *keyBits, *chunk, *preprocess, *storePath, *stockAddr, rt, *traceReq); err != nil {
 		log.Fatalf("sumclient: %v", err)
 	}
 }
 
-func run(server string, n int, selectFrac float64, indices string, seed int64, keyPath string, keyBits, chunk int, preprocess bool, storePath string, rt cluster.ClientConfig, traceReq bool) error {
+func run(server string, n int, selectFrac float64, indices string, seed int64, keyPath string, keyBits, chunk int, preprocess bool, storePath, stockAddr string, rt cluster.ClientConfig, traceReq bool) error {
 	sk, rawSK, err := loadKey(keyPath, keyBits)
 	if err != nil {
 		return err
@@ -111,7 +143,36 @@ func run(server string, n int, selectFrac float64, indices string, seed int64, k
 	fmt.Printf("selecting %d of %d rows\n", sel.Count(), n)
 
 	var pool homomorphic.EncryptorPool
-	if storePath != "" {
+	var remote *stock.RemoteSource
+	if stockAddr != "" {
+		ones := sel.Count()
+		remote, err = stock.NewRemoteSource(stock.RemoteSourceConfig{
+			Addr:        stockAddr,
+			Key:         rawSK.Public(),
+			TargetZeros: n - ones,
+			TargetOnes:  ones,
+			DialTimeout: rt.DialTimeout,
+			IOTimeout:   rt.IOTimeout,
+			UseCRC:      rt.UseCRC,
+		})
+		if err != nil {
+			return err
+		}
+		defer remote.Close()
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		err := remote.Prime(ctx)
+		cancel()
+		if err != nil {
+			// A short or absent prefetch is not fatal: the missing bits are
+			// encrypted online and counted as fallbacks below.
+			fmt.Printf("stock prefetch incomplete (%v); missing bits will be encrypted online\n", err)
+		} else {
+			fmt.Printf("stock prefetch: %v for %d encryptions from %s\n",
+				time.Since(start).Round(time.Millisecond), n, stockAddr)
+		}
+		pool = remote
+	} else if storePath != "" {
 		store, err := paillier.LoadBitStore(storePath, rawSK.Public())
 		if err != nil {
 			return fmt.Errorf("loading preprocessed store: %w", err)
@@ -167,6 +228,9 @@ func run(server string, n int, selectFrac float64, indices string, seed int64, k
 	fmt.Printf("selected sum: %v\n", sum)
 	fmt.Printf("online time:  %v\n", online.Round(time.Millisecond))
 	fmt.Printf("traffic:      %d bytes up, %d bytes down\n", out, in)
+	if remote != nil {
+		fmt.Printf("stock:        %d online fallbacks\n", remote.OnlineFallbacks())
+	}
 	if cs := client.Metrics().Snapshot(); cs.Retries+cs.Failovers > 0 {
 		fmt.Printf("resilience:   %d retries, %d failovers (served by %s)\n", cs.Retries, cs.Failovers, served)
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"crypto/rand"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -102,5 +103,34 @@ func TestLoadKeyGeneratesFresh(t *testing.T) {
 	}
 	if hk == nil || rawSK == nil || rawSK.N.BitLen() != 128 {
 		t.Errorf("fresh key generation broken")
+	}
+}
+
+func TestValidateStockFlags(t *testing.T) {
+	cases := []struct {
+		name               string
+		stock              string
+		preprocess         bool
+		storePath, jobdURL string
+		wantConflict       bool
+	}{
+		{name: "no stock", stock: ""},
+		{name: "no stock with preprocess", stock: "", preprocess: true},
+		{name: "stock alone", stock: "localhost:7005"},
+		{name: "stock with preprocess", stock: "localhost:7005", preprocess: true, wantConflict: true},
+		{name: "stock with store", stock: "localhost:7005", storePath: "/tmp/x.psbs", wantConflict: true},
+		{name: "stock with jobd", stock: "localhost:7005", jobdURL: "http://localhost:7006", wantConflict: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateStockFlags(tc.stock, tc.preprocess, tc.storePath, tc.jobdURL)
+			if tc.wantConflict {
+				if !errors.Is(err, errStockConflict) {
+					t.Fatalf("err = %v, want errStockConflict", err)
+				}
+			} else if err != nil {
+				t.Fatalf("unexpected err: %v", err)
+			}
+		})
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"privstats/internal/metrics"
 	"privstats/internal/paillier"
 	"privstats/internal/server"
+	"privstats/internal/stock"
 	"privstats/internal/trace"
 
 	// Accepted cryptosystems register themselves with the scheme registry.
@@ -69,6 +70,9 @@ type jobdConfig struct {
 	jobTimeout time.Duration
 	chunk      int
 	traceRing  int
+	stockAddr  string
+	stockZeros int
+	stockOnes  int
 	client     cluster.ClientConfig
 }
 
@@ -77,30 +81,30 @@ type jobdConfig struct {
 // by the loader), key material, and knob signs — and assembles the gateway.
 // Every operator mistake surfaces here as a clear error before any socket
 // is opened.
-func buildGateway(cfg jobdConfig) (*jobs.Gateway, *cluster.Client, *trace.Recorder, error) {
+func buildGateway(cfg jobdConfig) (*jobs.Gateway, *cluster.Client, *trace.Recorder, *stock.RemoteSource, error) {
 	backends := splitAddrs(cfg.backends)
 	if len(backends) == 0 {
-		return nil, nil, nil, errNoBackends
+		return nil, nil, nil, nil, errNoBackends
 	}
 	if cfg.rows <= 0 {
-		return nil, nil, nil, errNoRows
+		return nil, nil, nil, nil, errNoRows
 	}
 	if strings.TrimSpace(cfg.tenantPath) == "" {
-		return nil, nil, nil, errNoTenants
+		return nil, nil, nil, nil, errNoTenants
 	}
 	tenants, err := jobs.LoadTenants(cfg.tenantPath)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("sumjobd: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("sumjobd: %w", err)
 	}
 	if cfg.slots <= 0 {
-		return nil, nil, nil, fmt.Errorf("sumjobd: -slots %d must be positive", cfg.slots)
+		return nil, nil, nil, nil, fmt.Errorf("sumjobd: -slots %d must be positive", cfg.slots)
 	}
 	if cfg.maxJobs < 0 || cfg.jobTimeout < 0 || cfg.chunk < 0 || cfg.traceRing < 0 {
-		return nil, nil, nil, errors.New("sumjobd: negative -max-jobs/-job-timeout/-chunk/-trace-ring")
+		return nil, nil, nil, nil, errors.New("sumjobd: negative -max-jobs/-job-timeout/-chunk/-trace-ring")
 	}
 	key, err := loadKey(cfg.keyPath, cfg.keyBits)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 
 	client := cluster.NewClient(cfg.client)
@@ -108,15 +112,43 @@ func buildGateway(cfg jobdConfig) (*jobs.Gateway, *cluster.Client, *trace.Record
 	if cfg.traceRing > 0 {
 		recorder = trace.NewRecorder(cfg.traceRing)
 	}
+
+	// With -stock, executor queries draw preprocessed encryptions prefetched
+	// from the stock daemon; without it (or when the daemon is down) they
+	// encrypt online as before.
+	var remote *stock.RemoteSource
+	if cfg.stockAddr != "" {
+		pk, ok := key.(paillier.SchemeKey)
+		if !ok {
+			return nil, nil, nil, nil, fmt.Errorf("sumjobd: -stock requires a paillier key, have %q", key.PublicKey().SchemeName())
+		}
+		remote, err = stock.NewRemoteSource(stock.RemoteSourceConfig{
+			Addr:        cfg.stockAddr,
+			Key:         pk.SK.Public(),
+			TargetZeros: cfg.stockZeros,
+			TargetOnes:  cfg.stockOnes,
+			DialTimeout: cfg.client.DialTimeout,
+			IOTimeout:   cfg.client.IOTimeout,
+			UseCRC:      cfg.client.UseCRC,
+		})
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("sumjobd: %w", err)
+		}
+	}
+
+	exec := &jobs.Executor{
+		Client:    client,
+		Backends:  backends,
+		Key:       key,
+		ChunkSize: cfg.chunk,
+		Traces:    recorder,
+	}
+	if remote != nil {
+		exec.Pool = remote
+	}
 	g, err := jobs.NewGateway(jobs.GatewayConfig{
-		Schema: jobs.Schema{Rows: cfg.rows, Columns: []string{"value"}},
-		Exec: &jobs.Executor{
-			Client:    client,
-			Backends:  backends,
-			Key:       key,
-			ChunkSize: cfg.chunk,
-			Traces:    recorder,
-		},
+		Schema:     jobs.Schema{Rows: cfg.rows, Columns: []string{"value"}},
+		Exec:       exec,
 		Tenants:    tenants,
 		Slots:      cfg.slots,
 		MaxJobs:    cfg.maxJobs,
@@ -124,9 +156,12 @@ func buildGateway(cfg jobdConfig) (*jobs.Gateway, *cluster.Client, *trace.Record
 		Logf:       log.Printf,
 	})
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("sumjobd: %w", err)
+		if remote != nil {
+			remote.Close()
+		}
+		return nil, nil, nil, nil, fmt.Errorf("sumjobd: %w", err)
 	}
-	return g, client, recorder, nil
+	return g, client, recorder, remote, nil
 }
 
 // loadKey reads the analyst key from keygen output, or generates a fresh
@@ -179,11 +214,14 @@ func main() {
 	backoff := flag.Duration("backoff", cluster.DefaultBackoff, "base sleep before a retry, doubled each attempt and jittered")
 	dialHedge := flag.Duration("dial-hedge-after", 0, "launch a second dial if the first is still pending after this delay (0 = off)")
 	useCRC := flag.Bool("crc", false, "request CRC32 frame trailers on backend sessions")
+	stockAddr := flag.String("stock", "", "prefetch preprocessed encryptions from a stockd daemon at this address")
+	stockZeros := flag.Int("stock-zeros", 4096, "local depth of prefetched 0-bit encryptions with -stock")
+	stockOnes := flag.Int("stock-ones", 512, "local depth of prefetched 1-bit encryptions with -stock")
 	traceRing := flag.Int("trace-ring", 256, "record the last N gateway-side job traces and serve them at /traces (0 = off)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	g, client, recorder, err := buildGateway(jobdConfig{
+	g, client, recorder, remote, err := buildGateway(jobdConfig{
 		backends:   *backendsFlag,
 		rows:       *rows,
 		tenantPath: *tenantPath,
@@ -194,6 +232,9 @@ func main() {
 		jobTimeout: *jobTimeout,
 		chunk:      *chunk,
 		traceRing:  *traceRing,
+		stockAddr:  *stockAddr,
+		stockZeros: *stockZeros,
+		stockOnes:  *stockOnes,
 		client: cluster.ClientConfig{
 			DialTimeout:    *timeout,
 			IOTimeout:      *timeout,
@@ -241,4 +282,7 @@ func main() {
 		log.Fatalf("sumjobd: %v", err)
 	}
 	g.Close()
+	if remote != nil {
+		remote.Close()
+	}
 }

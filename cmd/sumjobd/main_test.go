@@ -37,7 +37,7 @@ func goodConfig(t *testing.T) jobdConfig {
 }
 
 func TestBuildGatewayValid(t *testing.T) {
-	g, client, _, err := buildGateway(goodConfig(t))
+	g, client, _, _, err := buildGateway(goodConfig(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,25 +50,25 @@ func TestBuildGatewayValid(t *testing.T) {
 func TestBuildGatewayMissingRequireds(t *testing.T) {
 	cfg := goodConfig(t)
 	cfg.backends = "  , "
-	if _, _, _, err := buildGateway(cfg); !errors.Is(err, errNoBackends) {
+	if _, _, _, _, err := buildGateway(cfg); !errors.Is(err, errNoBackends) {
 		t.Errorf("no backends: %v", err)
 	}
 
 	cfg = goodConfig(t)
 	cfg.rows = 0
-	if _, _, _, err := buildGateway(cfg); !errors.Is(err, errNoRows) {
+	if _, _, _, _, err := buildGateway(cfg); !errors.Is(err, errNoRows) {
 		t.Errorf("zero rows: %v", err)
 	}
 
 	cfg = goodConfig(t)
 	cfg.tenantPath = "   "
-	if _, _, _, err := buildGateway(cfg); !errors.Is(err, errNoTenants) {
+	if _, _, _, _, err := buildGateway(cfg); !errors.Is(err, errNoTenants) {
 		t.Errorf("no tenant path: %v", err)
 	}
 
 	cfg = goodConfig(t)
 	cfg.tenantPath = filepath.Join(t.TempDir(), "no-such-file.json")
-	if _, _, _, err := buildGateway(cfg); err == nil || !strings.Contains(err.Error(), "tenant config") {
+	if _, _, _, _, err := buildGateway(cfg); err == nil || !strings.Contains(err.Error(), "tenant config") {
 		t.Errorf("missing tenant file: %v", err)
 	}
 }
@@ -92,7 +92,7 @@ func TestBuildGatewayRejectsBadTenantPolicies(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := goodConfig(t)
 			cfg.tenantPath = writeTenants(t, tc.body)
-			_, _, _, err := buildGateway(cfg)
+			_, _, _, _, err := buildGateway(cfg)
 			if err == nil {
 				t.Fatalf("policy %s accepted", tc.body)
 			}
@@ -106,25 +106,25 @@ func TestBuildGatewayRejectsBadTenantPolicies(t *testing.T) {
 func TestBuildGatewayRejectsBadKnobs(t *testing.T) {
 	cfg := goodConfig(t)
 	cfg.slots = 0
-	if _, _, _, err := buildGateway(cfg); err == nil || !strings.Contains(err.Error(), "-slots") {
+	if _, _, _, _, err := buildGateway(cfg); err == nil || !strings.Contains(err.Error(), "-slots") {
 		t.Errorf("zero slots: %v", err)
 	}
 
 	cfg = goodConfig(t)
 	cfg.maxJobs = -1
-	if _, _, _, err := buildGateway(cfg); err == nil {
+	if _, _, _, _, err := buildGateway(cfg); err == nil {
 		t.Error("negative max-jobs accepted")
 	}
 
 	cfg = goodConfig(t)
 	cfg.jobTimeout = -1
-	if _, _, _, err := buildGateway(cfg); err == nil {
+	if _, _, _, _, err := buildGateway(cfg); err == nil {
 		t.Error("negative job-timeout accepted")
 	}
 
 	cfg = goodConfig(t)
 	cfg.chunk = -1
-	if _, _, _, err := buildGateway(cfg); err == nil {
+	if _, _, _, _, err := buildGateway(cfg); err == nil {
 		t.Error("negative chunk accepted")
 	}
 }
@@ -132,7 +132,7 @@ func TestBuildGatewayRejectsBadKnobs(t *testing.T) {
 func TestBuildGatewayBadKeyFile(t *testing.T) {
 	cfg := goodConfig(t)
 	cfg.keyPath = filepath.Join(t.TempDir(), "missing.key")
-	if _, _, _, err := buildGateway(cfg); err == nil || !strings.Contains(err.Error(), "reading key") {
+	if _, _, _, _, err := buildGateway(cfg); err == nil || !strings.Contains(err.Error(), "reading key") {
 		t.Errorf("missing key file: %v", err)
 	}
 
@@ -141,7 +141,7 @@ func TestBuildGatewayBadKeyFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.keyPath = garbage
-	if _, _, _, err := buildGateway(cfg); err == nil || !strings.Contains(err.Error(), "parsing key") {
+	if _, _, _, _, err := buildGateway(cfg); err == nil || !strings.Contains(err.Error(), "parsing key") {
 		t.Errorf("garbage key file: %v", err)
 	}
 }
@@ -153,5 +153,32 @@ func TestSplitAddrs(t *testing.T) {
 	}
 	if out := splitAddrs(""); out != nil {
 		t.Fatalf("splitAddrs(\"\") = %v", out)
+	}
+}
+
+func TestBuildGatewayWiresStockSource(t *testing.T) {
+	cfg := goodConfig(t)
+	// RemoteSource does not dial until the first fetch, so any address works
+	// for construction; draws simply fall back online if nothing listens.
+	cfg.stockAddr = "localhost:1"
+	cfg.stockZeros = 8
+	cfg.stockOnes = 4
+	g, _, _, remote, err := buildGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if remote == nil {
+		t.Fatal("no RemoteSource built despite -stock")
+	}
+	defer remote.Close()
+}
+
+func TestBuildGatewayRejectsBadStockTargets(t *testing.T) {
+	cfg := goodConfig(t)
+	cfg.stockAddr = "localhost:1"
+	cfg.stockZeros = -1
+	if _, _, _, _, err := buildGateway(cfg); err == nil {
+		t.Fatal("negative stock target accepted")
 	}
 }

@@ -271,3 +271,22 @@ func ComparisonCSV(w io.Writer, rows []ComparisonRow) error {
 	}
 	return nil
 }
+
+// WritePreprocServiceTable renders the preprocessing-as-a-service
+// comparison: online encryption with and without a stockd feed.
+func WritePreprocServiceTable(w io.Writer, rows []PreprocServiceRow) error {
+	title := "Preprocessing as a service (§3.3): client online encryption, stockd-fed vs. online"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "n\tonline encrypt\tstockd-fed encrypt\treduction\tprime (offline)\tfallbacks")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%.1f%%\t%s\t%d\n",
+			r.N, fmtDur(r.BaselineEncrypt), fmtDur(r.StockedEncrypt),
+			r.ReductionPct, fmtDur(r.Prime), r.Fallbacks)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

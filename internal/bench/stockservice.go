@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+
+	"privstats/internal/database"
+	"privstats/internal/homomorphic"
+	"privstats/internal/netsim"
+	"privstats/internal/paillier"
+	"privstats/internal/selectedsum"
+	"privstats/internal/server"
+	"privstats/internal/stock"
+)
+
+// PreprocServiceRow is one point of the preprocessing-as-a-service
+// experiment: the client's online encryption time with no preprocessing
+// versus with a stockd-fed RemoteSource, plus the offline prime cost the
+// service moved out of the query path.
+type PreprocServiceRow struct {
+	N int
+	// BaselineEncrypt is ClientEncrypt with online encryption (no pool).
+	BaselineEncrypt time.Duration
+	// StockedEncrypt is ClientEncrypt drawing from a primed RemoteSource.
+	StockedEncrypt time.Duration
+	// ReductionPct is the relative saving, 100*(1 - stocked/baseline).
+	ReductionPct float64
+	// Prime is the offline time to prefetch the full index vector's stock
+	// from the daemon (the cost that left the online path).
+	Prime time.Duration
+	// Fallbacks counts draws the stock could not cover (0 in a healthy run).
+	Fallbacks int
+}
+
+// PreprocessService measures preprocessing-as-a-service end to end: for
+// each size it spins a live-TCP stockd with per-size inventory targets,
+// primes a RemoteSource over the real stock wire protocol, and compares
+// the protocol's ClientEncrypt against the no-preprocessing baseline on
+// the identical workload. Both runs must produce the exact selected sum.
+//
+// This is the service-shaped version of the paper's §3.3 measurement: the
+// ~80% of client online time that preprocessing removes is here removed by
+// a daemon another process could share.
+func (c Config) PreprocessService() ([]PreprocServiceRow, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	sk, rawSK, err := c.newKey()
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]PreprocServiceRow, 0, len(c.Sizes))
+	for _, n := range c.Sizes {
+		table, sel, err := c.workload(n)
+		if err != nil {
+			return nil, err
+		}
+		want, err := table.SelectedSum(sel)
+		if err != nil {
+			return nil, err
+		}
+
+		base, err := selectedsum.Run(sk, table, sel, selectedsum.Options{
+			Link:      netsim.ShortDistance,
+			ChunkSize: c.ChunkSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if base.Sum.Cmp(want) != 0 {
+			return nil, fmt.Errorf("bench: preproc-service baseline n=%d: wrong sum", n)
+		}
+
+		row, err := c.stockedPoint(sk, rawSK, table, sel, want)
+		if err != nil {
+			return nil, err
+		}
+		row.BaselineEncrypt = base.Timings.ClientEncrypt
+		if row.BaselineEncrypt > 0 {
+			row.ReductionPct = 100 * (1 - float64(row.StockedEncrypt)/float64(row.BaselineEncrypt))
+		}
+		rows = append(rows, row)
+		c.progressf("preproc-service n=%d baseline=%v stocked=%v (-%.1f%%) prime=%v fallbacks=%d\n",
+			n, row.BaselineEncrypt.Round(time.Millisecond), row.StockedEncrypt.Round(time.Millisecond),
+			row.ReductionPct, row.Prime.Round(time.Millisecond), row.Fallbacks)
+	}
+	return rows, nil
+}
+
+// stockedPoint runs one size's stockd-fed measurement against a fresh
+// in-process daemon (live TCP, real stock wire protocol) whose inventory
+// targets exactly cover the index vector.
+func (c Config) stockedPoint(sk homomorphic.PrivateKey, rawSK *paillier.PrivateKey, table *database.Table, sel *database.Selection, want *big.Int) (PreprocServiceRow, error) {
+	nolog := func(string, ...any) {}
+	n := table.Len()
+	ones := sel.Count()
+	zeros := n - ones
+
+	inv, err := stock.NewInventory(stock.InventoryConfig{
+		Targets: stock.Targets{Zeros: zeros, Ones: ones},
+		Logf:    nolog,
+	})
+	if err != nil {
+		return PreprocServiceRow{}, err
+	}
+	defer inv.Close()
+	srv, err := server.NewHandler(&stock.Handler{Inv: inv}, server.Config{Logf: nolog})
+	if err != nil {
+		return PreprocServiceRow{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return PreprocServiceRow{}, err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-errc
+	}()
+
+	// Let the daemon mint the full inventory before priming: generation is
+	// the offline cost the service absorbs, and Prime should measure the
+	// transfer, not race the refiller.
+	if _, err := inv.Admit(rawSK.Public()); err != nil {
+		return PreprocServiceRow{}, err
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		z, o, _, ok := inv.Depths(rawSK.Public())
+		if ok && z >= zeros && o >= ones {
+			break
+		}
+		if time.Now().After(deadline) {
+			return PreprocServiceRow{}, fmt.Errorf("bench: stockd stuck at (%d,%d) of (%d,%d)", z, o, zeros, ones)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	src, err := stock.NewRemoteSource(stock.RemoteSourceConfig{
+		Addr:        ln.Addr().String(),
+		Key:         rawSK.Public(),
+		TargetZeros: zeros,
+		TargetOnes:  ones,
+		Logf:        nolog,
+	})
+	if err != nil {
+		return PreprocServiceRow{}, err
+	}
+	defer src.Close()
+
+	primeCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	primeStart := time.Now()
+	if err := src.Prime(primeCtx); err != nil {
+		return PreprocServiceRow{}, fmt.Errorf("bench: priming from stockd: %w", err)
+	}
+	prime := time.Since(primeStart)
+
+	res, err := selectedsum.Run(sk, table, sel, selectedsum.Options{
+		Link:      netsim.ShortDistance,
+		ChunkSize: c.ChunkSize,
+		Pool:      src,
+	})
+	if err != nil {
+		return PreprocServiceRow{}, err
+	}
+	if res.Sum.Cmp(want) != 0 {
+		return PreprocServiceRow{}, fmt.Errorf("bench: preproc-service stocked n=%d: wrong sum", n)
+	}
+	return PreprocServiceRow{
+		N:              n,
+		StockedEncrypt: res.Timings.ClientEncrypt,
+		Prime:          prime,
+		Fallbacks:      src.OnlineFallbacks(),
+	}, nil
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPreprocessService(t *testing.T) {
+	rows, err := testConfig().PreprocessService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Every draw was covered by daemon stock (the harness waits for the
+		// inventory and primes the full vector), so the online path only
+		// pops ciphertexts — it must be dramatically cheaper.
+		if r.Fallbacks != 0 {
+			t.Errorf("n=%d: %d fallbacks in a fully stocked run", r.N, r.Fallbacks)
+		}
+		if r.StockedEncrypt >= r.BaselineEncrypt {
+			t.Errorf("n=%d: stocked %v not below baseline %v", r.N, r.StockedEncrypt, r.BaselineEncrypt)
+		}
+		if r.Prime <= 0 {
+			t.Errorf("n=%d: prime time unrecorded", r.N)
+		}
+	}
+
+	var b bytes.Buffer
+	if err := WritePreprocServiceTable(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stockd-fed", "reduction", "fallbacks"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestPreprocessServiceRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.ChunkSize = 0
+	if _, err := cfg.PreprocessService(); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -55,6 +55,18 @@ func (g *Gauge) Inc() {
 // Dec decreases the gauge by one.
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
+// Set replaces the gauge's level (e.g. a sampled stock depth) and updates
+// the high-water mark.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stock-daemon metrics: one bundle of depth gauges and flow counters per
+// public-key inventory, so an operator can see at a glance whether the
+// refillers are keeping every key's stock above its clients' draw rate — the
+// SLO is OnlineFallbacks == 0 on the client side, which holds exactly when
+// the depths here never touch zero under load. Keys are labelled by a short
+// fingerprint prefix; cardinality is bounded by the daemon's -max-keys cap.
+
+// KeyStockMetrics holds one inventory's gauges and counters.
+type KeyStockMetrics struct {
+	// DepthZeros/DepthOnes/DepthRandomizers track the current stock levels
+	// (Set by the refiller after every pass and by the serving path after
+	// every batch). Their Max() is the high-water fill.
+	DepthZeros       Gauge
+	DepthOnes        Gauge
+	DepthRandomizers Gauge
+
+	// GeneratedBits / GeneratedRandomizers count items produced by the
+	// background refillers; ServedBits / ServedRandomizers count items
+	// shipped to clients. fill rate and draw rate are these counters'
+	// derivatives.
+	GeneratedBits        Counter
+	GeneratedRandomizers Counter
+	ServedBits           Counter
+	ServedRandomizers    Counter
+
+	// ServedBatches counts batch replies (including short and empty ones —
+	// the daemon never blocks a client waiting for stock).
+	ServedBatches Counter
+
+	// RefillErrors counts background generation passes that failed.
+	RefillErrors Counter
+
+	// FillNanos is the per-refill-pass latency distribution.
+	FillNanos Histogram
+}
+
+// StockMetrics is the per-key registry. The zero value is ready to use.
+type StockMetrics struct {
+	mu   sync.Mutex
+	keys map[string]*KeyStockMetrics
+
+	// Sessions counts stock-protocol sessions served; HelloRejects counts
+	// sessions refused at the hello (bad key, inventory cap).
+	Sessions     Counter
+	HelloRejects Counter
+}
+
+// Key returns (creating on first use) the named key's bundle. name is the
+// short fingerprint prefix the daemon labels inventories with.
+func (m *StockMetrics) Key(name string) *KeyStockMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.keys == nil {
+		m.keys = make(map[string]*KeyStockMetrics)
+	}
+	k := m.keys[name]
+	if k == nil {
+		k = &KeyStockMetrics{}
+		m.keys[name] = k
+	}
+	return k
+}
+
+// sorted returns the keys in stable name order for rendering.
+func (m *StockMetrics) sorted() (names []string, rows []*KeyStockMetrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names = make([]string, 0, len(m.keys))
+	for n := range m.keys {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rows = make([]*KeyStockMetrics, len(names))
+	for i, n := range names {
+		rows[i] = m.keys[n]
+	}
+	return names, rows
+}
+
+// KeyStockSnapshot is one key's row in the JSON stock document.
+type KeyStockSnapshot struct {
+	Key                  string  `json:"key"`
+	DepthZeros           int64   `json:"depth_zeros"`
+	DepthOnes            int64   `json:"depth_ones"`
+	DepthRandomizers     int64   `json:"depth_randomizers"`
+	GeneratedBits        int64   `json:"generated_bits"`
+	GeneratedRandomizers int64   `json:"generated_randomizers"`
+	ServedBits           int64   `json:"served_bits"`
+	ServedRandomizers    int64   `json:"served_randomizers"`
+	ServedBatches        int64   `json:"served_batches"`
+	RefillErrors         int64   `json:"refill_errors"`
+	FillP50Milli         float64 `json:"fill_p50_ms"`
+	FillP99Milli         float64 `json:"fill_p99_ms"`
+}
+
+// StockSnapshot is the JSON document the daemon's /stats serves.
+type StockSnapshot struct {
+	Sessions     int64              `json:"sessions"`
+	HelloRejects int64              `json:"hello_rejects"`
+	Keys         []KeyStockSnapshot `json:"keys"`
+}
+
+// Snapshot returns every key's counters in name order.
+func (m *StockMetrics) Snapshot() StockSnapshot {
+	names, rows := m.sorted()
+	s := StockSnapshot{
+		Sessions:     m.Sessions.Value(),
+		HelloRejects: m.HelloRejects.Value(),
+		Keys:         make([]KeyStockSnapshot, len(names)),
+	}
+	for i, k := range rows {
+		h := k.FillNanos.Snapshot()
+		s.Keys[i] = KeyStockSnapshot{
+			Key:                  names[i],
+			DepthZeros:           k.DepthZeros.Value(),
+			DepthOnes:            k.DepthOnes.Value(),
+			DepthRandomizers:     k.DepthRandomizers.Value(),
+			GeneratedBits:        k.GeneratedBits.Value(),
+			GeneratedRandomizers: k.GeneratedRandomizers.Value(),
+			ServedBits:           k.ServedBits.Value(),
+			ServedRandomizers:    k.ServedRandomizers.Value(),
+			ServedBatches:        k.ServedBatches.Value(),
+			RefillErrors:         k.RefillErrors.Value(),
+			FillP50Milli:         float64(h.P50) / 1e6,
+			FillP99Milli:         float64(h.P99) / 1e6,
+		}
+	}
+	return s
+}
+
+// Handler serves the per-key stock counters as JSON (the daemon's /stats
+// document).
+func (m *StockMetrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		doc := m.Snapshot()
+		if doc.Keys == nil {
+			doc.Keys = []KeyStockSnapshot{}
+		}
+		_ = enc.Encode(doc)
+	})
+}
+
+// WritePromStock renders the stock-daemon families in exposition format,
+// appended after WriteProm on the daemon's /metrics.
+func WritePromStock(w io.Writer, m *StockMetrics) error {
+	var b bytes.Buffer
+	names, rows := m.sorted()
+
+	promHeader(&b, "privstats_stock_sessions_total", "counter", "Stock protocol sessions served.")
+	fmt.Fprintf(&b, "privstats_stock_sessions_total %d\n", m.Sessions.Value())
+	promHeader(&b, "privstats_stock_hello_rejects_total", "counter", "Stock sessions refused at the hello (bad key, inventory cap).")
+	fmt.Fprintf(&b, "privstats_stock_hello_rejects_total %d\n", m.HelloRejects.Value())
+
+	promHeader(&b, "privstats_stock_depth", "gauge", "Current inventory depth per key and kind.")
+	for i, n := range names {
+		k := rows[i]
+		for _, d := range []struct {
+			kind string
+			v    int64
+		}{
+			{"zeros", k.DepthZeros.Value()},
+			{"ones", k.DepthOnes.Value()},
+			{"randomizers", k.DepthRandomizers.Value()},
+		} {
+			fmt.Fprintf(&b, "privstats_stock_depth{key=\"%s\",kind=\"%s\"} %d\n", promEscape(n), d.kind, d.v)
+		}
+	}
+
+	promHeader(&b, "privstats_stock_generated_total", "counter", "Items produced by the background refillers (fill rate).")
+	for i, n := range names {
+		k := rows[i]
+		fmt.Fprintf(&b, "privstats_stock_generated_total{key=\"%s\",kind=\"bits\"} %d\n", promEscape(n), k.GeneratedBits.Value())
+		fmt.Fprintf(&b, "privstats_stock_generated_total{key=\"%s\",kind=\"randomizers\"} %d\n", promEscape(n), k.GeneratedRandomizers.Value())
+	}
+	promHeader(&b, "privstats_stock_served_total", "counter", "Items shipped to clients (draw rate).")
+	for i, n := range names {
+		k := rows[i]
+		fmt.Fprintf(&b, "privstats_stock_served_total{key=\"%s\",kind=\"bits\"} %d\n", promEscape(n), k.ServedBits.Value())
+		fmt.Fprintf(&b, "privstats_stock_served_total{key=\"%s\",kind=\"randomizers\"} %d\n", promEscape(n), k.ServedRandomizers.Value())
+	}
+	promHeader(&b, "privstats_stock_served_batches_total", "counter", "Batch replies per key, including short and empty ones.")
+	for i, n := range names {
+		fmt.Fprintf(&b, "privstats_stock_served_batches_total{key=\"%s\"} %d\n", promEscape(n), rows[i].ServedBatches.Value())
+	}
+	promHeader(&b, "privstats_stock_refill_errors_total", "counter", "Background generation passes that failed.")
+	for i, n := range names {
+		fmt.Fprintf(&b, "privstats_stock_refill_errors_total{key=\"%s\"} %d\n", promEscape(n), rows[i].RefillErrors.Value())
+	}
+
+	promHeader(&b, "privstats_stock_fill_seconds", "histogram", "Refill-pass latency per key.")
+	for i, n := range names {
+		writePromHist(&b, "privstats_stock_fill_seconds", `key="`+promEscape(n)+`",`, &rows[i].FillNanos)
+	}
+
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// PromHandlerStock serves /metrics for a stock daemon: the server runtime
+// families (when sm is non-nil) followed by the stock families.
+func PromHandlerStock(sm *ServerMetrics, stm *StockMetrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		var b bytes.Buffer
+		if sm != nil {
+			_ = WriteProm(&b, sm, time.Now())
+		}
+		if stm != nil {
+			_ = WritePromStock(&b, stm)
+		}
+		_, _ = w.Write(b.Bytes())
+	})
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGaugeSet(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("Value = %d, want 7", g.Value())
+	}
+	g.Set(3)
+	if g.Value() != 3 || g.Max() != 7 {
+		t.Fatalf("after Set(3): value %d max %d, want 3 and 7", g.Value(), g.Max())
+	}
+	g.Set(11)
+	if g.Max() != 11 {
+		t.Fatalf("Max = %d, want 11", g.Max())
+	}
+}
+
+func TestStockMetricsSnapshot(t *testing.T) {
+	var m StockMetrics
+	m.Sessions.Inc()
+	k := m.Key("deadbeef00112233")
+	k.DepthZeros.Set(40)
+	k.DepthOnes.Set(8)
+	k.GeneratedBits.Add(48)
+	k.ServedBits.Add(16)
+	k.ServedBatches.Inc()
+	k.FillNanos.ObserveDuration(5 * time.Millisecond)
+
+	s := m.Snapshot()
+	if s.Sessions != 1 || len(s.Keys) != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	row := s.Keys[0]
+	if row.Key != "deadbeef00112233" || row.DepthZeros != 40 || row.DepthOnes != 8 ||
+		row.GeneratedBits != 48 || row.ServedBits != 16 || row.ServedBatches != 1 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.FillP50Milli <= 0 {
+		t.Errorf("fill p50 = %v, want > 0", row.FillP50Milli)
+	}
+
+	// Keys render in stable name order.
+	m.Key("aaaa000000000000")
+	s = m.Snapshot()
+	if len(s.Keys) != 2 || s.Keys[0].Key != "aaaa000000000000" {
+		t.Fatalf("keys not sorted: %+v", s.Keys)
+	}
+}
+
+func TestStockMetricsHandlerEmpty(t *testing.T) {
+	var m StockMetrics
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var doc struct {
+		Keys []KeyStockSnapshot `json:"keys"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Keys == nil {
+		t.Error("empty registry must render keys as [], not null")
+	}
+}
+
+func TestWritePromStock(t *testing.T) {
+	var m StockMetrics
+	m.Sessions.Add(3)
+	m.HelloRejects.Inc()
+	k := m.Key("cafe")
+	k.DepthZeros.Set(100)
+	k.DepthRandomizers.Set(5)
+	k.GeneratedRandomizers.Add(5)
+	k.ServedBits.Add(60)
+	k.RefillErrors.Inc()
+	k.FillNanos.ObserveDuration(time.Millisecond)
+
+	var b bytes.Buffer
+	if err := WritePromStock(&b, &m); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"privstats_stock_sessions_total 3",
+		"privstats_stock_hello_rejects_total 1",
+		`privstats_stock_depth{key="cafe",kind="zeros"} 100`,
+		`privstats_stock_depth{key="cafe",kind="randomizers"} 5`,
+		`privstats_stock_generated_total{key="cafe",kind="randomizers"} 5`,
+		`privstats_stock_served_total{key="cafe",kind="bits"} 60`,
+		`privstats_stock_served_batches_total{key="cafe"} 0`,
+		`privstats_stock_refill_errors_total{key="cafe"} 1`,
+		"privstats_stock_fill_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestPromHandlerStock(t *testing.T) {
+	var sm ServerMetrics
+	sm.SessionsStarted.Inc()
+	var stm StockMetrics
+	stm.Sessions.Inc()
+
+	rec := httptest.NewRecorder()
+	PromHandlerStock(&sm, &stm).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "privstats_sessions_total") {
+		t.Error("server families missing")
+	}
+	if !strings.Contains(body, "privstats_stock_sessions_total") {
+		t.Error("stock families missing")
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Errorf("content type %q", ct)
+	}
+}

@@ -72,4 +72,52 @@ func FuzzPrivateKeyUnmarshal(f *testing.F) {
 	})
 }
 
+// FuzzReadBitStore: hostile store files must either be rejected or load into
+// a store whose every draw is a valid ciphertext — stockd restores these
+// from disk and sumclient loads them via -store, so a rotted or crafted file
+// is a real input.
+func FuzzReadBitStore(f *testing.F) {
+	sk, err := KeyGen(rand.Reader, 128)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pk := sk.Public()
+	store := NewBitStore(pk)
+	if err := store.Fill(2, 2); err != nil {
+		f.Fatal(err)
+	}
+	var good bytes.Buffer
+	if _, err := store.WriteTo(&good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add(good.Bytes()[:len(good.Bytes())/2])
+	f.Add([]byte(storeMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, err := ReadBitStore(bytes.NewReader(data), pk)
+		if err != nil {
+			return
+		}
+		// An accepted store must serve only decryptable ciphertexts (the
+		// format cannot vouch for the plaintexts — that needs the secret
+		// key — but every draw must be safely usable) and re-serialize
+		// cleanly.
+		for bit := uint(0); bit <= 1; bit++ {
+			for back.Remaining(bit) > 0 {
+				ct, err := back.DrawBit(bit)
+				if err != nil {
+					t.Fatalf("drawing from accepted store: %v", err)
+				}
+				if _, err := sk.Decrypt(ct); err != nil {
+					t.Fatalf("accepted store holds undecryptable ciphertext: %v", err)
+				}
+			}
+		}
+		if _, err := back.WriteTo(new(bytes.Buffer)); err != nil {
+			t.Fatalf("accepted store does not re-serialize: %v", err)
+		}
+	})
+}
+
 func bigOne() *big.Int { return big.NewInt(1) }

@@ -1,6 +1,7 @@
 package paillier
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"sync"
@@ -9,6 +10,12 @@ import (
 
 	"privstats/internal/mathx"
 )
+
+// fillChunk is how many items a Fill generates before publishing them under
+// the lock. Small enough that concurrent Draws see stock early in a long
+// refill and a cancelled context stops promptly; large enough that the lock
+// traffic is noise next to the modular exponentiations.
+const fillChunk = 32
 
 // This file implements the paper's Section 3.3 preprocessing optimization:
 // "encrypt a large number of 0s and a large number of 1s [offline] to use
@@ -42,20 +49,38 @@ func NewRandomizerPool(pk *PublicKey) *RandomizerPool {
 // a background goroutine while the device is idle, the PDA scenario in the
 // paper).
 func (p *RandomizerPool) Fill(count int) error {
+	return p.FillContext(context.Background(), count)
+}
+
+// FillContext is Fill with cancellation: generated randomizers are published
+// in chunks of fillChunk, so concurrent Draws see stock while a long refill
+// is still running, and a cancelled ctx stops the refill at the next chunk
+// boundary (keeping everything already published).
+func (p *RandomizerPool) FillContext(ctx context.Context, count int) error {
 	if count < 0 {
 		return fmt.Errorf("paillier: negative pool fill count %d", count)
 	}
-	fresh := make([]*big.Int, 0, count)
-	for i := 0; i < count; i++ {
-		r, err := mathx.RandUnit(rand.Reader, p.pk.N)
-		if err != nil {
-			return fmt.Errorf("paillier: filling randomizer pool: %w", err)
+	for count > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		fresh = append(fresh, new(big.Int).Exp(r, p.pk.N, p.pk.NSquared))
+		n := count
+		if n > fillChunk {
+			n = fillChunk
+		}
+		fresh := make([]*big.Int, 0, n)
+		for i := 0; i < n; i++ {
+			r, err := mathx.RandUnit(rand.Reader, p.pk.N)
+			if err != nil {
+				return fmt.Errorf("paillier: filling randomizer pool: %w", err)
+			}
+			fresh = append(fresh, new(big.Int).Exp(r, p.pk.N, p.pk.NSquared))
+		}
+		p.mu.Lock()
+		p.stock = append(p.stock, fresh...)
+		p.mu.Unlock()
+		count -= n
 	}
-	p.mu.Lock()
-	p.stock = append(p.stock, fresh...)
-	p.mu.Unlock()
 	return nil
 }
 
@@ -64,6 +89,46 @@ func (p *RandomizerPool) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.stock)
+}
+
+// Depth reports the current stock level — the supply-side gauge matching the
+// drain-side OnlineFallbacks counter.
+func (p *RandomizerPool) Depth() int { return p.Len() }
+
+// AddStock inserts externally produced randomizers (e.g. a batch fetched
+// from a stock daemon) after validating each lies in [1, N²).
+func (p *RandomizerPool) AddStock(rns []*big.Int) error {
+	for i, rn := range rns {
+		if rn == nil || rn.Sign() < 1 || rn.Cmp(p.pk.NSquared) >= 0 {
+			return fmt.Errorf("paillier: stocked randomizer %d outside [1, N²)", i)
+		}
+	}
+	p.mu.Lock()
+	p.stock = append(p.stock, rns...)
+	p.mu.Unlock()
+	return nil
+}
+
+// Take pops up to max stocked randomizers without ever computing online —
+// the serving side of a stock daemon, which returns what it has and leaves
+// generation to its refiller.
+func (p *RandomizerPool) Take(max int) []*big.Int {
+	if max <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.stock)
+	if max > n {
+		max = n
+	}
+	out := make([]*big.Int, max)
+	for i := 0; i < max; i++ {
+		out[i] = p.stock[n-1-i]
+		p.stock[n-1-i] = nil
+	}
+	p.stock = p.stock[:n-max]
+	return out
 }
 
 // Draw pops one precomputed randomizer, or computes one online if the pool
@@ -126,30 +191,45 @@ func NewBitStore(pk *PublicKey) *BitStore {
 // This is the offline phase; its cost is deliberately not hidden — the
 // bench harness measures it separately as "preprocessing time".
 func (s *BitStore) Fill(zeros, ones int) error {
+	return s.FillContext(context.Background(), zeros, ones)
+}
+
+// FillContext is Fill with cancellation: fresh encryptions are published in
+// chunks of fillChunk, so concurrent DrawBits see stock while a long refill
+// is still running, and a cancelled ctx stops the refill at the next chunk
+// boundary (keeping everything already published).
+func (s *BitStore) FillContext(ctx context.Context, zeros, ones int) error {
 	if zeros < 0 || ones < 0 {
 		return fmt.Errorf("paillier: negative BitStore fill (%d, %d)", zeros, ones)
 	}
-	freshZ := make([]*Ciphertext, 0, zeros)
-	for i := 0; i < zeros; i++ {
-		ct, err := s.pk.Encrypt(mathx.Zero)
-		if err != nil {
-			return fmt.Errorf("paillier: preprocessing E(0): %w", err)
+	fill := func(count int, m *big.Int, dst *[]*Ciphertext) error {
+		for count > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			n := count
+			if n > fillChunk {
+				n = fillChunk
+			}
+			fresh := make([]*Ciphertext, 0, n)
+			for i := 0; i < n; i++ {
+				ct, err := s.pk.Encrypt(m)
+				if err != nil {
+					return fmt.Errorf("paillier: preprocessing E(%v): %w", m, err)
+				}
+				fresh = append(fresh, ct)
+			}
+			s.mu.Lock()
+			*dst = append(*dst, fresh...)
+			s.mu.Unlock()
+			count -= n
 		}
-		freshZ = append(freshZ, ct)
+		return nil
 	}
-	freshO := make([]*Ciphertext, 0, ones)
-	for i := 0; i < ones; i++ {
-		ct, err := s.pk.Encrypt(mathx.One)
-		if err != nil {
-			return fmt.Errorf("paillier: preprocessing E(1): %w", err)
-		}
-		freshO = append(freshO, ct)
+	if err := fill(zeros, mathx.Zero, &s.zeros); err != nil {
+		return err
 	}
-	s.mu.Lock()
-	s.zeros = append(s.zeros, freshZ...)
-	s.ones = append(s.ones, freshO...)
-	s.mu.Unlock()
-	return nil
+	return fill(ones, mathx.One, &s.ones)
 }
 
 // DrawBit returns a precomputed encryption of bit (0 or 1), encrypting
@@ -187,6 +267,62 @@ func (s *BitStore) Remaining(bit uint) int {
 		return len(s.zeros)
 	}
 	return len(s.ones)
+}
+
+// Depth reports both stock levels in one consistent snapshot — the
+// supply-side gauges matching the drain-side OnlineFallbacks counter.
+func (s *BitStore) Depth() (zeros, ones int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.zeros), len(s.ones)
+}
+
+// AddStock inserts externally produced encryptions of bit (e.g. a batch
+// fetched from a stock daemon). Callers are responsible for having parsed
+// the ciphertexts under this store's key.
+func (s *BitStore) AddStock(bit uint, cts []*Ciphertext) error {
+	if bit > 1 {
+		return fmt.Errorf("paillier: AddStock(%d): bit must be 0 or 1", bit)
+	}
+	for i, ct := range cts {
+		if ct == nil {
+			return fmt.Errorf("paillier: stocked ciphertext %d is nil", i)
+		}
+	}
+	s.mu.Lock()
+	if bit == 0 {
+		s.zeros = append(s.zeros, cts...)
+	} else {
+		s.ones = append(s.ones, cts...)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Take pops up to max stocked encryptions of bit without ever encrypting
+// online — the serving side of a stock daemon, which returns what it has and
+// leaves generation to its refiller.
+func (s *BitStore) Take(bit uint, max int) []*Ciphertext {
+	if bit > 1 || max <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot := &s.zeros
+	if bit == 1 {
+		slot = &s.ones
+	}
+	n := len(*slot)
+	if max > n {
+		max = n
+	}
+	out := make([]*Ciphertext, max)
+	for i := 0; i < max; i++ {
+		out[i] = (*slot)[n-1-i]
+		(*slot)[n-1-i] = nil
+	}
+	*slot = (*slot)[:n-max]
+	return out
 }
 
 // OnlineFallbacks reports how many draws were served by online encryption.

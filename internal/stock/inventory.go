@@ -1,0 +1,416 @@
+package stock
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"privstats/internal/metrics"
+	"privstats/internal/paillier"
+)
+
+// Defaults for zero InventoryConfig fields.
+const (
+	// DefaultMaxKeys caps dynamically admitted public keys. Stock is
+	// public-key-only material, so admitting a key costs privacy nothing —
+	// the cap only bounds memory and generator work.
+	DefaultMaxKeys = 16
+	// DefaultRefillEvery is the idle poll interval of a key's refiller; the
+	// serving path additionally wakes it immediately after every batch.
+	DefaultRefillEvery = 250 * time.Millisecond
+)
+
+// ErrInventoryFull is returned when admitting one more key would exceed the
+// configured cap.
+var ErrInventoryFull = errors.New("stock: inventory at key capacity")
+
+// Targets are the depths a key's refiller keeps each inventory topped up to.
+type Targets struct {
+	Zeros, Ones, Randomizers int
+}
+
+func (t Targets) validate() error {
+	if t.Zeros < 0 || t.Ones < 0 || t.Randomizers < 0 {
+		return fmt.Errorf("stock: negative targets %+v", t)
+	}
+	if t.Zeros == 0 && t.Ones == 0 && t.Randomizers == 0 {
+		return errors.New("stock: all targets zero — the daemon would serve nothing")
+	}
+	return nil
+}
+
+// InventoryConfig tunes an Inventory.
+type InventoryConfig struct {
+	// Targets are the per-key refill depths.
+	Targets Targets
+	// MaxKeys caps dynamically admitted keys; zero means DefaultMaxKeys.
+	MaxKeys int
+	// Rate, when positive, bounds generation across all refillers to this
+	// many items per second — the daemon is a shared service, and unbounded
+	// modular exponentiation would starve the serving goroutines.
+	Rate int
+	// RefillEvery is the idle poll interval of each refiller; zero means
+	// DefaultRefillEvery.
+	RefillEvery time.Duration
+	// StateDir, when non-empty, persists each key's stock to
+	// <dir>/<fp16>.bits and <fp16>.rnd on Close and restores them on the
+	// key's next admission. Restores are fingerprint-bound: files written
+	// for a rotated key fail the storepersist key check and are discarded.
+	StateDir string
+	// Metrics receives the daemon's counters; nil allocates a fresh set.
+	Metrics *metrics.StockMetrics
+	// Logf receives operational log lines; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// keyStock is one public key's inventories plus its refiller plumbing.
+type keyStock struct {
+	fp    [32]byte
+	label string // fp's first 16 hex chars, the metrics label
+	pk    *paillier.PublicKey
+	bits  *paillier.BitStore
+	rand  *paillier.RandomizerPool
+	km    *metrics.KeyStockMetrics
+	wake  chan struct{} // serving path → refiller, capacity 1
+}
+
+// Inventory is the daemon's state: per-key stock kept at target depths by
+// background refillers. Safe for concurrent use by many serving sessions.
+type Inventory struct {
+	cfg InventoryConfig
+	m   *metrics.StockMetrics
+
+	mu   sync.Mutex
+	keys map[[32]byte]*keyStock
+
+	limiter *rateLimiter
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	logf   func(format string, args ...any)
+}
+
+// NewInventory validates cfg and returns an empty inventory. Keys are
+// admitted on first contact (Admit); each admission starts a refiller
+// goroutine that runs until Close.
+func NewInventory(cfg InventoryConfig) (*Inventory, error) {
+	if err := cfg.Targets.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxKeys < 0 || cfg.Rate < 0 || cfg.RefillEvery < 0 {
+		return nil, errors.New("stock: negative MaxKeys/Rate/RefillEvery")
+	}
+	if cfg.MaxKeys == 0 {
+		cfg.MaxKeys = DefaultMaxKeys
+	}
+	if cfg.RefillEvery == 0 {
+		cfg.RefillEvery = DefaultRefillEvery
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = &metrics.StockMetrics{}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Inventory{
+		cfg:     cfg,
+		m:       m,
+		keys:    make(map[[32]byte]*keyStock),
+		limiter: newRateLimiter(cfg.Rate),
+		ctx:     ctx,
+		cancel:  cancel,
+		logf:    logf,
+	}, nil
+}
+
+// Metrics returns the inventory's metrics set.
+func (i *Inventory) Metrics() *metrics.StockMetrics { return i.m }
+
+// Admit returns the inventory for pk, creating it (and starting its
+// refiller) on first contact. A new key beyond the cap returns
+// ErrInventoryFull. When a state directory is configured, a fresh admission
+// first tries to restore persisted stock — files bound to a different
+// (rotated) key fail the fingerprint check and are discarded.
+func (i *Inventory) Admit(pk *paillier.PublicKey) (*keyStock, error) {
+	fp, err := paillier.KeyFingerprint(pk)
+	if err != nil {
+		return nil, fmt.Errorf("stock: fingerprinting key: %w", err)
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if k := i.keys[fp]; k != nil {
+		return k, nil
+	}
+	if len(i.keys) >= i.cfg.MaxKeys {
+		return nil, fmt.Errorf("%w (%d keys)", ErrInventoryFull, len(i.keys))
+	}
+	label := hex.EncodeToString(fp[:8])
+	k := &keyStock{
+		fp:    fp,
+		label: label,
+		pk:    pk,
+		bits:  paillier.NewBitStore(pk),
+		rand:  paillier.NewRandomizerPool(pk),
+		km:    i.m.Key(label),
+		wake:  make(chan struct{}, 1),
+	}
+	i.restore(k)
+	i.keys[fp] = k
+	k.noteDepths()
+	i.wg.Add(1)
+	go i.refillLoop(k)
+	i.logf("stock: admitted key %s (%d/%d keys)", label, len(i.keys), i.cfg.MaxKeys)
+	return k, nil
+}
+
+// lookup returns the already-admitted inventory for fp, or nil.
+func (i *Inventory) lookup(fp [32]byte) *keyStock {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.keys[fp]
+}
+
+// Depths reports pk's current stock levels; ok is false when the key was
+// never admitted.
+func (i *Inventory) Depths(pk *paillier.PublicKey) (zeros, ones, randomizers int, ok bool) {
+	fp, err := paillier.KeyFingerprint(pk)
+	if err != nil {
+		return 0, 0, 0, false
+	}
+	k := i.lookup(fp)
+	if k == nil {
+		return 0, 0, 0, false
+	}
+	zeros, ones = k.bits.Depth()
+	return zeros, ones, k.rand.Depth(), true
+}
+
+// noteDepths publishes the stock levels as gauges.
+func (k *keyStock) noteDepths() {
+	zeros, ones := k.bits.Depth()
+	k.km.DepthZeros.Set(int64(zeros))
+	k.km.DepthOnes.Set(int64(ones))
+	k.km.DepthRandomizers.Set(int64(k.rand.Depth()))
+}
+
+// statePaths returns the key's persistence file paths.
+func (i *Inventory) statePaths(k *keyStock) (bits, rnd string) {
+	return filepath.Join(i.cfg.StateDir, k.label+".bits"),
+		filepath.Join(i.cfg.StateDir, k.label+".rnd")
+}
+
+// restore loads persisted stock for a freshly admitted key, best effort: a
+// missing file is normal, a corrupt or key-mismatched file is logged and
+// discarded (the refiller regenerates).
+func (i *Inventory) restore(k *keyStock) {
+	if i.cfg.StateDir == "" {
+		return
+	}
+	bitsPath, rndPath := i.statePaths(k)
+	if st, err := paillier.LoadBitStore(bitsPath, k.pk); err == nil {
+		zeros := st.Take(0, maxRestore)
+		ones := st.Take(1, maxRestore)
+		_ = k.bits.AddStock(0, zeros)
+		_ = k.bits.AddStock(1, ones)
+		i.logf("stock: restored %d zeros, %d ones for key %s", len(zeros), len(ones), k.label)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		i.logf("stock: discarding bit store %s: %v", bitsPath, err)
+	}
+	if pool, err := paillier.LoadRandomizerPool(rndPath, k.pk); err == nil {
+		rns := pool.Take(maxRestore)
+		_ = k.rand.AddStock(rns)
+		i.logf("stock: restored %d randomizers for key %s", len(rns), k.label)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		i.logf("stock: discarding randomizer pool %s: %v", rndPath, err)
+	}
+}
+
+// maxRestore bounds one restore (matches the storepersist header cap).
+const maxRestore = 1 << 28
+
+// SaveAll persists every key's current stock to the state directory.
+func (i *Inventory) SaveAll() error {
+	if i.cfg.StateDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(i.cfg.StateDir, 0o755); err != nil {
+		return fmt.Errorf("stock: creating state dir: %w", err)
+	}
+	i.mu.Lock()
+	keys := make([]*keyStock, 0, len(i.keys))
+	for _, k := range i.keys {
+		keys = append(keys, k)
+	}
+	i.mu.Unlock()
+	var first error
+	for _, k := range keys {
+		bitsPath, rndPath := i.statePaths(k)
+		if err := k.bits.SaveFile(bitsPath); err != nil && first == nil {
+			first = err
+		}
+		if err := k.rand.SaveFile(rndPath); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close stops every refiller (cancelling in-flight fills at their next chunk
+// boundary), waits for them, and persists the surviving stock when a state
+// directory is configured.
+func (i *Inventory) Close() error {
+	i.cancel()
+	i.wg.Wait()
+	return i.SaveAll()
+}
+
+// refillLoop keeps one key's inventories at their targets: it tops up when
+// woken by the serving path and on a slow poll, until Close.
+func (i *Inventory) refillLoop(k *keyStock) {
+	defer i.wg.Done()
+	timer := time.NewTimer(0) // first pass immediately
+	defer timer.Stop()
+	for {
+		select {
+		case <-i.ctx.Done():
+			return
+		case <-k.wake:
+		case <-timer.C:
+		}
+		i.topUp(k)
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(i.cfg.RefillEvery)
+	}
+}
+
+// topUp runs one refill pass: generate whatever each inventory lacks, rate
+// limited, publishing chunks as they land so concurrent serves see them.
+func (i *Inventory) topUp(k *keyStock) {
+	zeros, ones := k.bits.Depth()
+	needZ, needO := i.cfg.Targets.Zeros-zeros, i.cfg.Targets.Ones-ones
+	needR := i.cfg.Targets.Randomizers - k.rand.Depth()
+	if needZ <= 0 && needO <= 0 && needR <= 0 {
+		return
+	}
+	start := time.Now()
+	defer func() {
+		k.km.FillNanos.ObserveDuration(time.Since(start))
+		k.noteDepths()
+	}()
+	// Generate in rate-limiter-sized slices so a huge deficit cannot pin the
+	// limiter budget on one kind, and shutdown lands promptly.
+	fill := func(need int, gen func(n int) error, generated *metrics.Counter) {
+		for need > 0 && i.ctx.Err() == nil {
+			n := need
+			if n > 64 {
+				n = 64
+			}
+			if err := i.limiter.wait(i.ctx, n); err != nil {
+				return
+			}
+			if err := gen(n); err != nil {
+				if i.ctx.Err() == nil {
+					k.km.RefillErrors.Inc()
+					i.logf("stock: refill for key %s: %v", k.label, err)
+				}
+				return
+			}
+			generated.Add(int64(n))
+			k.noteDepths()
+			need -= n
+		}
+	}
+	fill(needZ, func(n int) error { return k.bits.FillContext(i.ctx, n, 0) }, &k.km.GeneratedBits)
+	fill(needO, func(n int) error { return k.bits.FillContext(i.ctx, 0, n) }, &k.km.GeneratedBits)
+	fill(needR, func(n int) error { return k.rand.FillContext(i.ctx, n) }, &k.km.GeneratedRandomizers)
+}
+
+// take serves one request from the key's stock: up to req.Count items of the
+// kind, never blocking on generation (an empty batch tells the client to
+// fall back online), and wakes the refiller.
+func (i *Inventory) take(k *keyStock, req *Request) *Batch {
+	width := k.pk.CiphertextSize()
+	batch := &Batch{Kind: req.Kind, Width: width}
+	switch req.Kind {
+	case KindZeroBits, KindOneBits:
+		cts := k.bits.Take(uint(req.Kind), int(req.Count))
+		items := make([]byte, 0, len(cts)*width)
+		for _, ct := range cts {
+			items = append(items, ct.Bytes()...)
+		}
+		batch.Items = items
+		k.km.ServedBits.Add(int64(len(cts)))
+	case KindRandomizers:
+		rns := k.rand.Take(int(req.Count))
+		items := make([]byte, len(rns)*width)
+		for j, rn := range rns {
+			rn.FillBytes(items[j*width : (j+1)*width])
+		}
+		batch.Items = items
+		k.km.ServedRandomizers.Add(int64(len(rns)))
+	}
+	k.km.ServedBatches.Inc()
+	k.noteDepths()
+	select {
+	case k.wake <- struct{}{}:
+	default:
+	}
+	return batch
+}
+
+// rateLimiter paces generation to a global items-per-second budget with a
+// simple virtual-clock scheme: each item reserves one interval on a shared
+// timeline, and a caller sleeps until its reservation starts.
+type rateLimiter struct {
+	mu       sync.Mutex
+	interval time.Duration // per item; 0 = unlimited
+	next     time.Time
+}
+
+func newRateLimiter(perSecond int) *rateLimiter {
+	l := &rateLimiter{}
+	if perSecond > 0 {
+		l.interval = time.Second / time.Duration(perSecond)
+	}
+	return l
+}
+
+// wait blocks until n items may be generated (or ctx is cancelled).
+func (l *rateLimiter) wait(ctx context.Context, n int) error {
+	if l.interval == 0 {
+		return ctx.Err()
+	}
+	l.mu.Lock()
+	now := time.Now()
+	if l.next.Before(now) {
+		l.next = now
+	}
+	startAt := l.next
+	l.next = l.next.Add(time.Duration(n) * l.interval)
+	l.mu.Unlock()
+	if d := time.Until(startAt); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return ctx.Err()
+}

@@ -43,6 +43,25 @@ const (
 	MsgDone MsgType = 0x05
 )
 
+// Stock-service message types (internal/stock). They live in a distinct
+// range so a stock frame can never be mistaken for a selected-sum frame, and
+// the 0x80 bit stays reserved for the CRC flag. Payload codecs live in
+// internal/stock; the framing, CRC trailers, and MsgError conventions are
+// shared with the selected-sum protocol.
+const (
+	// MsgStockHello opens a stock session: the client sends its public key
+	// (and its fingerprint, which the daemon verifies) so the daemon can
+	// select — or create — the matching inventory. The daemon echoes a
+	// MsgStockHello ack carrying the fingerprint it admitted.
+	MsgStockHello MsgType = 0x10
+	// MsgStockRequest asks for up to Count items of one stock kind.
+	MsgStockRequest MsgType = 0x11
+	// MsgStockBatch carries the daemon's reply: as many fixed-width items as
+	// it had on hand, possibly zero — the daemon never blocks a client
+	// waiting for generation.
+	MsgStockBatch MsgType = 0x12
+)
+
 // MaxFrame bounds a frame payload. A 100,000-element chunk of 1024-bit-
 // modulus ciphertexts is ~25.6 MB; 64 MB leaves generous headroom while
 // still rejecting absurd lengths from a corrupt or hostile peer before
