@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet check chaos fuzz-smoke bench-fold cluster-demo cover
+.PHONY: all build test race fmt vet check chaos chaos-restart fuzz-smoke bench-fold cluster-demo cover
 
 all: build
 
@@ -17,10 +17,10 @@ test:
 # Race-detect the packages with real concurrency: the server runtime, the
 # protocol layer it drives, the cluster fan-out, the fault-injection
 # transport, the framed wire layer (its Conn carries cross-goroutine meter
-# and trace state), and the job gateway (fair-share scheduler + worker
-# goroutines).
+# and trace state), the job gateway (fair-share scheduler + worker
+# goroutines), and the durability layer (journal append vs. compaction).
 race:
-	$(GO) test -race ./internal/server/ ./internal/selectedsum/ ./internal/cluster/ ./internal/faultnet/ ./internal/wire/ ./internal/jobs/ ./internal/stock/
+	$(GO) test -race ./internal/server/ ./internal/selectedsum/ ./internal/cluster/ ./internal/faultnet/ ./internal/wire/ ./internal/jobs/ ./internal/stock/ ./internal/durable/
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -41,6 +41,14 @@ check: fmt vet build test race
 chaos:
 	$(GO) test -race -run 'TestChaos' -count=2 ./internal/cluster/
 
+# Restart-chaos suite: the real sumjobd/stockd binaries SIGKILLed at seeded
+# random points mid-run and restarted on the same state directories, under
+# the race detector. Every job must end exact-vs-oracle or cleanly
+# classified; the stock daemon must restore its last snapshot exactly.
+CHAOS_RESTARTS ?= 100
+chaos-restart:
+	CHAOS_RESTARTS=$(CHAOS_RESTARTS) $(GO) test -race -timeout 30m -run 'TestRestartChaos' -count=1 ./internal/chaos/
+
 # Fuzz smoke: a short live-fuzz burst per target (the seed corpus alone runs
 # in `make test`). Go runs one fuzz target per invocation, hence the loop.
 FUZZTIME ?= 5s
@@ -55,7 +63,8 @@ fuzz-smoke:
 		$(GO) test -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) ./internal/paillier/; \
 	done; \
 	$(GO) test -fuzz='^FuzzFoldEquivalence$$' -fuzztime=$(FUZZTIME) ./internal/selectedsum/; \
-	$(GO) test -fuzz='^FuzzDecodeJobSpec$$' -fuzztime=$(FUZZTIME) ./internal/jobs/
+	$(GO) test -fuzz='^FuzzDecodeJobSpec$$' -fuzztime=$(FUZZTIME) ./internal/jobs/; \
+	$(GO) test -fuzz='^FuzzReplayJournal$$' -fuzztime=$(FUZZTIME) ./internal/durable/
 
 # Coverage gate: profile ./internal/..., print per-package percentages, and
 # fail if the total drops below the committed floor. The floor is the

@@ -17,8 +17,12 @@
 //	stockd -listen :7005 -state-dir /var/lib/stockd -rate 2000 -stats-addr :7006
 //
 // With -state-dir, inventories survive restarts: stock is persisted on
-// graceful shutdown and restored (fingerprint-checked, so a rotated key's
-// stale files are discarded) when the key next connects.
+// graceful shutdown (SIGINT/SIGTERM/SIGHUP all drain then persist) and
+// restored — fingerprint-checked, so a rotated key's stale files are
+// discarded — at startup, before the socket opens. Adding -snapshot-every
+// also writes crash-safe snapshots on an interval (and optionally after
+// every -snapshot-delta items served), so even a SIGKILL loses at most one
+// interval of stock.
 package main
 
 import (
@@ -40,21 +44,25 @@ import (
 
 // stockdConfig is everything buildInventory validates before a socket opens.
 type stockdConfig struct {
-	targets  stock.Targets
-	maxKeys  int
-	rate     int
-	stateDir string
+	targets       stock.Targets
+	maxKeys       int
+	rate          int
+	stateDir      string
+	snapshotEvery time.Duration
+	snapshotDelta int
 }
 
 // buildInventory validates the generation knobs and assembles the daemon's
 // inventory, so every operator mistake surfaces before any socket is opened.
 func buildInventory(cfg stockdConfig) (*stock.Inventory, error) {
 	return stock.NewInventory(stock.InventoryConfig{
-		Targets:  cfg.targets,
-		MaxKeys:  cfg.maxKeys,
-		Rate:     cfg.rate,
-		StateDir: cfg.stateDir,
-		Logf:     log.Printf,
+		Targets:       cfg.targets,
+		MaxKeys:       cfg.maxKeys,
+		Rate:          cfg.rate,
+		StateDir:      cfg.stateDir,
+		SnapshotEvery: cfg.snapshotEvery,
+		SnapshotDelta: cfg.snapshotDelta,
+		Logf:          log.Printf,
 	})
 }
 
@@ -66,6 +74,8 @@ func main() {
 	maxKeys := flag.Int("max-keys", stock.DefaultMaxKeys, "public keys admitted before hellos get a busy error")
 	rate := flag.Int("rate", 0, "cap stock generation at this many items/second across all keys (0 = unlimited)")
 	stateDir := flag.String("state-dir", "", "persist inventories here on shutdown and restore on admission (empty = off)")
+	snapshotEvery := flag.Duration("snapshot-every", 0, "also snapshot inventories to -state-dir at this interval, so a kill loses at most one interval of stock (0 = only on graceful exit)")
+	snapshotDelta := flag.Int("snapshot-delta", 0, "snapshot early once this many items were served since the last one (0 = interval only)")
 	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "max concurrent sessions; overflow connections get a busy error")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "fail a session whose client sends nothing for this long (0 = never)")
 	grace := flag.Duration("grace", 30*time.Second, "drain window for in-flight sessions on SIGINT/SIGTERM")
@@ -75,14 +85,23 @@ func main() {
 	flag.Parse()
 
 	inv, err := buildInventory(stockdConfig{
-		targets:  stock.Targets{Zeros: *targetZeros, Ones: *targetOnes, Randomizers: *targetRand},
-		maxKeys:  *maxKeys,
-		rate:     *rate,
-		stateDir: *stateDir,
+		targets:       stock.Targets{Zeros: *targetZeros, Ones: *targetOnes, Randomizers: *targetRand},
+		maxKeys:       *maxKeys,
+		rate:          *rate,
+		stateDir:      *stateDir,
+		snapshotEvery: *snapshotEvery,
+		snapshotDelta: *snapshotDelta,
 	})
 	if err != nil {
 		log.Fatalf("stockd: %v", err)
 	}
+	// Re-admit persisted keys and restore their stock before the socket
+	// opens, and say exactly what came back.
+	summary, err := inv.RestoreAll()
+	if err != nil {
+		log.Fatalf("stockd: %v", err)
+	}
+	log.Printf("stock: recovery: %s", summary)
 
 	srv, err := server.NewHandler(&stock.Handler{Inv: inv}, server.Config{
 		MaxSessions: *maxSessions,
@@ -116,7 +135,10 @@ func main() {
 		}()
 	}
 
-	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// SIGHUP gets the same drain-then-persist exit as SIGINT/SIGTERM: a
+	// hangup from a dying terminal or a supervisor reload must not skip the
+	// stock persist.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
 	defer stopSignals()
 	go func() {
 		<-sigCtx.Done()

@@ -68,6 +68,7 @@ type jobdConfig struct {
 	slots      int
 	maxJobs    int
 	jobTimeout time.Duration
+	storeDir   string
 	chunk      int
 	traceRing  int
 	stockAddr  string
@@ -153,6 +154,7 @@ func buildGateway(cfg jobdConfig) (*jobs.Gateway, *cluster.Client, *trace.Record
 		Slots:      cfg.slots,
 		MaxJobs:    cfg.maxJobs,
 		JobTimeout: cfg.jobTimeout,
+		StoreDir:   cfg.storeDir,
 		Logf:       log.Printf,
 	})
 	if err != nil {
@@ -207,6 +209,7 @@ func main() {
 	slots := flag.Int("slots", 2, "concurrently executing jobs, shared across tenants by weighted fair queueing")
 	maxJobs := flag.Int("max-jobs", 1024, "retained job statuses; oldest finished jobs are evicted past this")
 	jobTimeout := flag.Duration("job-timeout", 0, "hard cap on one job's execution (0 = none)")
+	storeDir := flag.String("store", "", "crash-safe job store directory: journal every job and recover on restart (empty = memory-only)")
 	chunk := flag.Int("chunk", 0, "batch the encrypted index vector in chunks of this size (0 = single chunk)")
 	grace := flag.Duration("grace", 30*time.Second, "drain window for in-flight jobs on SIGINT/SIGTERM")
 	timeout := flag.Duration("timeout", cluster.DefaultIOTimeout, "dial and per-frame IO deadline on backend sessions")
@@ -230,6 +233,7 @@ func main() {
 		slots:      *slots,
 		maxJobs:    *maxJobs,
 		jobTimeout: *jobTimeout,
+		storeDir:   *storeDir,
 		chunk:      *chunk,
 		traceRing:  *traceRing,
 		stockAddr:  *stockAddr,

@@ -129,6 +129,42 @@ func TestBuildGatewayRejectsBadKnobs(t *testing.T) {
 	}
 }
 
+func TestBuildGatewayStoreDir(t *testing.T) {
+	// A valid store dir builds and leaves a journal behind.
+	cfg := goodConfig(t)
+	cfg.storeDir = filepath.Join(t.TempDir(), "store")
+	g, _, _, _, err := buildGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	if _, err := os.Stat(filepath.Join(cfg.storeDir, "jobs.wal")); err != nil {
+		t.Errorf("no journal created under -store: %v", err)
+	}
+
+	// An unusable store dir (an existing file) is rejected pre-socket.
+	cfg = goodConfig(t)
+	file := filepath.Join(t.TempDir(), "flat-file")
+	if err := os.WriteFile(file, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cfg.storeDir = file
+	if _, _, _, _, err := buildGateway(cfg); err == nil || !strings.Contains(err.Error(), "store") {
+		t.Errorf("file as -store dir: %v", err)
+	}
+
+	// A corrupt journal (not ours) is rejected pre-socket, not truncated.
+	cfg = goodConfig(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "jobs.wal"), []byte("not a journal"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cfg.storeDir = dir
+	if _, _, _, _, err := buildGateway(cfg); err == nil || !strings.Contains(err.Error(), "journal") {
+		t.Errorf("corrupt journal under -store: %v", err)
+	}
+}
+
 func TestBuildGatewayBadKeyFile(t *testing.T) {
 	cfg := goodConfig(t)
 	cfg.keyPath = filepath.Join(t.TempDir(), "missing.key")

@@ -1,0 +1,12 @@
+// Package chaos holds the restart-chaos suite: real sumjobd and stockd
+// binaries are started against scratch state directories, SIGKILLed at a
+// seeded random point mid-run, and restarted on the same state. The
+// invariants are absolute — every job ends either exact against the
+// plaintext oracle or cleanly classified with a "[code]" error (never a
+// partial or wrong statistic), and a restarted stock daemon serves from its
+// last crash-safe snapshot, losing at most one snapshot interval of stock.
+//
+// The suite lives in _test files; this package builds to nothing. Scale the
+// seeded run count with CHAOS_RESTARTS (the `make chaos-restart` gate runs
+// 100 per daemon under the race detector).
+package chaos

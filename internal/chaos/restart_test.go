@@ -1,0 +1,391 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"privstats/internal/database"
+	"privstats/internal/jobs"
+	"privstats/internal/paillier"
+	"privstats/internal/server"
+	"privstats/internal/stock"
+	"privstats/internal/testutil"
+)
+
+func discardLogf(string, ...any) {}
+
+// chaosRuns is the seeded-run count: small by default so `go test ./...`
+// stays fast, 100 under `make chaos-restart`.
+func chaosRuns(t *testing.T) int {
+	t.Helper()
+	s := os.Getenv("CHAOS_RESTARTS")
+	if s == "" {
+		return 2
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		t.Fatalf("bad CHAOS_RESTARTS=%q", s)
+	}
+	return n
+}
+
+var (
+	chaosKeyOnce sync.Once
+	chaosSK      *paillier.PrivateKey
+	chaosKeyErr  error
+)
+
+func chaosKey(t *testing.T) *paillier.PrivateKey {
+	t.Helper()
+	chaosKeyOnce.Do(func() { chaosSK, chaosKeyErr = paillier.KeyGen(rand.Reader, 256) })
+	if chaosKeyErr != nil {
+		t.Fatal(chaosKeyErr)
+	}
+	return chaosSK
+}
+
+// jobStatus is the slice of the job JSON the suite asserts on.
+type jobStatus struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Error  string `json:"error"`
+	Result *struct {
+		Count int    `json:"count"`
+		Sum   string `json:"sum"`
+	} `json:"result"`
+}
+
+func getJob(t *testing.T, base, id string) (jobStatus, bool) {
+	t.Helper()
+	resp, err := http.Get(base + "/" + id)
+	if err != nil {
+		return jobStatus{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return jobStatus{}, false
+	}
+	var job jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatalf("decoding job %s: %v", id, err)
+	}
+	return job, true
+}
+
+// TestRestartChaosSumjobd is the headline durability test: N jobs are
+// submitted to a real sumjobd process over a live backend, the process is
+// SIGKILLed at a seeded random point, and a restart on the same -store must
+// finish every job either exact against the plaintext oracle or cleanly
+// classified — zero wrong results, ever.
+func TestRestartChaosSumjobd(t *testing.T) {
+	bin := testutil.BuildBinary(t, "sumjobd")
+
+	const rows = 120
+	table, err := database.Generate(rows, database.DistUniform, 991)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(table, server.Config{Logf: discardLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	backend := ln.Addr().String()
+
+	// The analyst key must survive restarts, exactly as in production.
+	scratch := t.TempDir()
+	raw, err := chaosKey(t).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyPath := filepath.Join(scratch, "analyst.key")
+	if err := os.WriteFile(keyPath, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	tenantsPath := filepath.Join(scratch, "tenants.json")
+	tenants := `[{"name":"acme","weight":1,"rate":1000,"burst":1000,"max_queued":64}]`
+	if err := os.WriteFile(tenantsPath, []byte(tenants), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	startJobd := func(t *testing.T, store string) (*testutil.Daemon, string) {
+		d := testutil.StartDaemon(t, bin,
+			"-listen", "127.0.0.1:0",
+			"-backends", backend,
+			"-rows", strconv.Itoa(rows),
+			"-tenants", tenantsPath,
+			"-key", keyPath,
+			"-store", store,
+			"-slots", "1",
+		)
+		base := d.WaitLog(`job gateway on (http://\S+/jobs)`, 15*time.Second)
+		return d, base
+	}
+
+	runs := chaosRuns(t)
+	for run := 0; run < runs; run++ {
+		t.Run(fmt.Sprintf("seed%d", run), func(t *testing.T) {
+			rng := mrand.New(mrand.NewSource(int64(1000 + run)))
+			store := t.TempDir()
+			d, base := startJobd(t, store)
+
+			const jobCount = 6
+			type want struct {
+				id    string
+				count int
+				sum   uint64
+			}
+			wants := make([]want, 0, jobCount)
+			for j := 0; j < jobCount; j++ {
+				n := 1 + rng.Intn(rows)
+				sel := append([]int(nil), rng.Perm(rows)[:n]...)
+				sort.Ints(sel)
+				var sum uint64
+				for _, r := range sel {
+					sum += uint64(table.Value(r))
+				}
+				body, err := json.Marshal(jobs.JobSpec{
+					Op:        "sum",
+					Selection: jobs.SelectionSpec{Rows: sel},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				req, err := http.NewRequest(http.MethodPost, base, bytes.NewReader(body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				req.Header.Set(jobs.TenantHeader, "acme")
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatalf("submit %d: %v", j, err)
+				}
+				var job jobStatus
+				if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted || job.ID == "" {
+					t.Fatalf("submit %d: status %d, job %+v", j, resp.StatusCode, job)
+				}
+				wants = append(wants, want{id: job.ID, count: n, sum: sum})
+			}
+
+			// The crash: a seeded random instant into execution.
+			time.Sleep(time.Duration(rng.Intn(80)) * time.Millisecond)
+			d.Kill()
+
+			// Restart on the same store. Every submitted job must reach a
+			// terminal state: done-and-exact or failed-and-classified.
+			d2, base2 := startJobd(t, store)
+			deadline := time.Now().Add(90 * time.Second)
+			for _, w := range wants {
+				var job jobStatus
+				for {
+					var ok bool
+					job, ok = getJob(t, base2, w.id)
+					if !ok {
+						t.Fatalf("job %s lost across the crash", w.id)
+					}
+					if job.State == "done" || job.State == "failed" {
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("job %s stuck in %s after restart\n%s", w.id, job.State, d2.Output())
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+				switch job.State {
+				case "done":
+					if job.Result == nil {
+						t.Fatalf("job %s done with no result", w.id)
+					}
+					if job.Result.Sum != strconv.FormatUint(w.sum, 10) || job.Result.Count != w.count {
+						t.Fatalf("WRONG RESULT: job %s = %+v, oracle sum %d over %d rows",
+							w.id, *job.Result, w.sum, w.count)
+					}
+				case "failed":
+					if !strings.HasPrefix(job.Error, "[") {
+						t.Fatalf("job %s failed unclassified: %q", w.id, job.Error)
+					}
+				}
+			}
+
+			// Recovery counters joined the exposition.
+			resp, err := http.Get(strings.TrimSuffix(base2, "/jobs") + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			prom, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			series, err := testutil.ParseProm(string(prom))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := series["privstats_jobs_recovered_total"]; !ok || got < float64(jobCount) {
+				t.Errorf("privstats_jobs_recovered_total = %v (present %v), want >= %d", got, ok, jobCount)
+			}
+			if _, ok := series["privstats_jobs_replayed_bytes"]; !ok {
+				t.Error("privstats_jobs_replayed_bytes missing from exposition")
+			}
+
+			d2.Signal(syscall.SIGTERM)
+			if err := d2.Wait(15 * time.Second); err != nil {
+				t.Fatalf("graceful exit: %v\n%s", err, d2.Output())
+			}
+		})
+	}
+}
+
+// TestRestartChaosStockd kills a snapshotting stock daemon mid-run and
+// asserts the restart restores exactly the surviving snapshot — the daemon
+// loses at most one snapshot interval of stock and serves the restored items
+// without a single online fallback.
+func TestRestartChaosStockd(t *testing.T) {
+	bin := testutil.BuildBinary(t, "stockd")
+	sk := chaosKey(t)
+	pk := sk.Public()
+	fp, err := paillier.KeyFingerprint(pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := hex.EncodeToString(fp[:8])
+
+	start := func(t *testing.T, dir string) (*testutil.Daemon, string) {
+		d := testutil.StartDaemon(t, bin,
+			"-listen", "127.0.0.1:0",
+			"-target-zeros", "32",
+			"-target-ones", "8",
+			"-state-dir", dir,
+			"-snapshot-every", "25ms",
+		)
+		addr := d.WaitLog(`stock daemon on (\S+) `, 15*time.Second)
+		return d, addr
+	}
+	prime := func(t *testing.T, addr string) *stock.RemoteSource {
+		rs, err := stock.NewRemoteSource(stock.RemoteSourceConfig{
+			Addr:        addr,
+			Key:         pk,
+			TargetZeros: 8,
+			TargetOnes:  4,
+			Logf:        discardLogf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A freshly (re)started daemon may not have refilled yet; priming
+		// against a still-warming daemon is expected to fail and retry.
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			err := rs.Prime(ctx)
+			cancel()
+			if err == nil {
+				return rs
+			}
+			if time.Now().After(deadline) {
+				rs.Close()
+				t.Fatalf("priming from stockd: %v", err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	runs := chaosRuns(t)
+	for run := 0; run < runs; run++ {
+		t.Run(fmt.Sprintf("seed%d", run), func(t *testing.T) {
+			rng := mrand.New(mrand.NewSource(int64(2000 + run)))
+			dir := t.TempDir()
+			d, addr := start(t, dir)
+
+			// Say hello (admitting the key) and draw real stock.
+			rs := prime(t, addr)
+			rs.Close()
+
+			// Wait until at least one snapshot covers the key, then crash at
+			// a seeded random point — possibly mid-snapshot, which the atomic
+			// rename must make invisible.
+			bitsPath := filepath.Join(dir, label+".bits")
+			waitDeadline := time.Now().Add(15 * time.Second)
+			for {
+				if st, err := paillier.LoadBitStore(bitsPath, pk); err == nil {
+					z, o := st.Depth()
+					if z+o > 0 {
+						break
+					}
+				}
+				if time.Now().After(waitDeadline) {
+					t.Fatalf("no usable snapshot appeared\n%s", d.Output())
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			time.Sleep(time.Duration(rng.Intn(60)) * time.Millisecond)
+			d.Kill()
+
+			// The surviving snapshot is ground truth for the restart.
+			st, err := paillier.LoadBitStore(bitsPath, pk)
+			if err != nil {
+				t.Fatalf("snapshot unreadable after SIGKILL: %v", err)
+			}
+			z, o := st.Depth()
+			var rnds int
+			if pool, err := paillier.LoadRandomizerPool(filepath.Join(dir, label+".rnd"), pk); err == nil {
+				rnds = pool.Depth()
+			}
+
+			d2, addr2 := start(t, dir)
+			line := d2.WaitLog(`stock: recovery: (keys_restored=\S+ \S+ \S+ \S+)`, 15*time.Second)
+			want := fmt.Sprintf("keys_restored=1 bits_loaded=%d randomizers_loaded=%d stale_discarded=0", z+o, rnds)
+			if line != want {
+				t.Fatalf("recovery summary = %q, want %q", line, want)
+			}
+
+			// The restored stock serves: a full prime with zero online
+			// fallbacks means every item came from the daemon.
+			rs2 := prime(t, addr2)
+			if n := rs2.OnlineFallbacks(); n != 0 {
+				t.Errorf("%d online fallbacks drawing from restored daemon", n)
+			}
+			rs2.Close()
+
+			// SIGHUP takes the same drain-then-persist exit as SIGTERM.
+			d2.Signal(syscall.SIGHUP)
+			if err := d2.Wait(15 * time.Second); err != nil {
+				t.Fatalf("SIGHUP exit: %v\n%s", err, d2.Output())
+			}
+			if _, err := os.Stat(filepath.Join(dir, label+".pk")); err != nil {
+				t.Errorf("no persisted key after SIGHUP drain: %v", err)
+			}
+		})
+	}
+}

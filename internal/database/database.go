@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"sync"
 )
 
 // Table is an immutable-after-construction column of 32-bit values, plus a
@@ -19,8 +20,10 @@ import (
 // (variance needs Σx² as well as Σx; the server exposes both columns to the
 // homomorphic fold, never to the client).
 type Table struct {
-	values  []uint32
-	squares []uint64 // squares[i] = values[i]^2, built on demand
+	values []uint32
+
+	squaresOnce sync.Once
+	squares     []uint64 // squares[i] = values[i]^2, built on demand
 }
 
 // New builds a table over the given values. The slice is copied.
@@ -40,13 +43,15 @@ func (t *Table) Value(i int) uint32 { return t.values[i] }
 func (t *Table) Values() []uint32 { return t.values }
 
 // Squares returns the column of squared values, building it on first use.
+// Safe for concurrent sessions folding against the same table.
 func (t *Table) Squares() []uint64 {
-	if t.squares == nil {
-		t.squares = make([]uint64, len(t.values))
+	t.squaresOnce.Do(func() {
+		sq := make([]uint64, len(t.values))
 		for i, v := range t.values {
-			t.squares[i] = uint64(v) * uint64(v)
+			sq[i] = uint64(v) * uint64(v)
 		}
-	}
+		t.squares = sq
+	})
 	return t.squares
 }
 

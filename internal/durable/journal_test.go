@@ -1,0 +1,303 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type rec struct {
+	typ     byte
+	payload []byte
+}
+
+// appendAll opens (or reopens) the journal at path and appends every record.
+func appendAll(t *testing.T, path string, recs []rec) {
+	t.Helper()
+	j, _, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := j.Append(r.typ, r.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// replayAll opens the journal collecting every replayed record.
+func replayAll(t *testing.T, path string) ([]rec, Stats) {
+	t.Helper()
+	var got []rec
+	j, stats, err := Open(path, func(typ byte, payload []byte) error {
+		got = append(got, rec{typ, append([]byte(nil), payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return got, stats
+}
+
+func sampleRecords() []rec {
+	return []rec{
+		{1, []byte(`{"id":"a","op":"sum"}`)},
+		{2, nil}, // empty payloads are legal
+		{3, bytes.Repeat([]byte{0xAB}, 300)},
+		{4, []byte("final record")},
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	want := sampleRecords()
+	appendAll(t, path, want)
+
+	got, stats := replayAll(t, path)
+	if stats.TornTail {
+		t.Error("clean journal reported a torn tail")
+	}
+	if stats.Records != len(want) {
+		t.Fatalf("replayed %d records, want %d", stats.Records, len(want))
+	}
+	for i := range want {
+		if got[i].typ != want[i].typ || !bytes.Equal(got[i].payload, want[i].payload) {
+			t.Errorf("record %d: got (%d, %q), want (%d, %q)",
+				i, got[i].typ, got[i].payload, want[i].typ, want[i].payload)
+		}
+	}
+
+	// Reopen-and-append continues the same journal.
+	appendAll(t, path, []rec{{9, []byte("appended after reopen")}})
+	got, _ = replayAll(t, path)
+	if len(got) != len(want)+1 || got[len(got)-1].typ != 9 {
+		t.Fatalf("after reopen-append: %d records, last type %d", len(got), got[len(got)-1].typ)
+	}
+}
+
+// TestJournalTruncationSweep cuts a multi-record journal at EVERY byte
+// boundary: replay must never error, never panic, and must recover exactly
+// the records whose frames survived intact.
+func TestJournalTruncationSweep(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.wal")
+	recs := sampleRecords()
+	appendAll(t, full, recs)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record the intact-prefix byte offsets: after the header, after each
+	// record. A cut at exactly offsets[i] recovers i records with no torn
+	// tail; any other cut beyond the header recovers the records that fit
+	// and reports the tail.
+	offsets := []int64{headerLen}
+	for _, r := range recs {
+		offsets = append(offsets, offsets[len(offsets)-1]+int64(frameOverhead)+int64(len(r.payload)))
+	}
+	if offsets[len(offsets)-1] != int64(len(data)) {
+		t.Fatalf("offset arithmetic: computed end %d, file is %d bytes", offsets[len(offsets)-1], len(data))
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		var n int
+		stats, err := Replay(bytes.NewReader(data[:cut]), func(byte, []byte) error { n++; return nil })
+		if cut < headerLen {
+			// Not even a header: this file cannot be trusted as an empty
+			// journal, so it must be rejected loudly.
+			if !errors.Is(err, ErrCorruptJournal) {
+				t.Fatalf("cut %d: want ErrCorruptJournal, got %v", cut, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: unexpected error %v", cut, err)
+		}
+		wantRecs := 0
+		for _, off := range offsets {
+			if int64(cut) >= off {
+				wantRecs++
+			}
+		}
+		wantRecs-- // offsets[0] is the bare header
+		if n != wantRecs || stats.Records != wantRecs {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, n, wantRecs)
+		}
+		wantTorn := int64(cut) != offsets[wantRecs]
+		if stats.TornTail != wantTorn {
+			t.Fatalf("cut %d: TornTail=%v, want %v", cut, stats.TornTail, wantTorn)
+		}
+		if stats.Bytes != offsets[wantRecs] {
+			t.Fatalf("cut %d: Bytes=%d, want %d", cut, stats.Bytes, offsets[wantRecs])
+		}
+	}
+}
+
+// TestJournalBitFlip flips a single bit in a mid-journal record body: replay
+// must stop at the last record BEFORE the flip — no panic, and nothing after
+// the corruption resurrected (the framing downstream of a bad CRC cannot be
+// trusted).
+func TestJournalBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.wal")
+	recs := sampleRecords()
+	appendAll(t, full, recs)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit inside record 1's payload region... which is empty, so
+	// use record 2's (offset: header + rec0 frame + rec1 frame + type+len).
+	off := headerLen + (frameOverhead + len(recs[0].payload)) + (frameOverhead + 0) + 5
+	corrupt := append([]byte(nil), data...)
+	corrupt[off] ^= 0x10
+
+	var n int
+	stats, err := Replay(bytes.NewReader(corrupt), func(byte, []byte) error { n++; return nil })
+	if err != nil {
+		t.Fatalf("bit flip must not error replay: %v", err)
+	}
+	if n != 2 || stats.Records != 2 {
+		t.Fatalf("replayed %d records past a flipped bit in record 2, want 2", n)
+	}
+	if !stats.TornTail {
+		t.Error("bit flip not reported as a dropped tail")
+	}
+
+	// Opening the corrupt journal truncates at the last good record, and a
+	// subsequent append + replay yields records 0,1 + the new one.
+	path := filepath.Join(dir, "reopen.wal")
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, stats, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.TornTail || stats.Records != 2 {
+		t.Fatalf("open on corrupt journal: %+v", stats)
+	}
+	if err := j.Append(7, []byte("after repair")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	got, stats := replayAll(t, path)
+	if stats.TornTail || len(got) != 3 || got[2].typ != 7 {
+		t.Fatalf("post-repair replay: %d records, stats %+v", len(got), stats)
+	}
+}
+
+func TestJournalRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string][]byte{
+		"nonsense.wal": []byte("this is not a journal, it is a text file"),
+		"psbs.wal":     append([]byte("PSBS"), bytes.Repeat([]byte{0}, 64)...),
+		"badver.wal":   {'P', 'S', 'W', 'J', 0xFF, 0xFF, 0xFF, 0xFF},
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Open(path, nil); !errors.Is(err, ErrCorruptJournal) {
+			t.Errorf("%s: want ErrCorruptJournal, got %v", name, err)
+		}
+	}
+}
+
+func TestJournalAppendLimits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "limits.wal")
+	j, _, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(1, make([]byte, MaxRecord+1)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(1, []byte("x")); err == nil {
+		t.Error("append after close accepted")
+	}
+	if err := j.Close(); err != nil {
+		t.Error("double close should be a no-op:", err)
+	}
+}
+
+func TestJournalReplayFnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fnerr.wal")
+	appendAll(t, path, sampleRecords())
+	boom := errors.New("boom")
+	if _, _, err := Open(path, func(byte, []byte) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("fn error not propagated: %v", err)
+	}
+}
+
+func TestRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "compact.wal")
+	appendAll(t, path, sampleRecords())
+
+	// Compact down to one surviving record.
+	if err := Rewrite(path, func(j *Journal) error {
+		return j.Append(42, []byte("survivor"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := replayAll(t, path)
+	if len(got) != 1 || got[0].typ != 42 || stats.TornTail {
+		t.Fatalf("after rewrite: %d records (%+v)", len(got), stats)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Error("rewrite left its temp file behind")
+	}
+
+	// A failing write callback leaves the original journal untouched.
+	if err := Rewrite(path, func(j *Journal) error {
+		_ = j.Append(1, []byte("doomed"))
+		return fmt.Errorf("abort")
+	}); err == nil {
+		t.Fatal("failing rewrite reported success")
+	}
+	got, _ = replayAll(t, path)
+	if len(got) != 1 || got[0].typ != 42 {
+		t.Fatalf("failed rewrite corrupted the journal: %d records", len(got))
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("v1"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v1" {
+		t.Fatalf("snapshot content %q", b)
+	}
+	// A failing writer leaves the previous snapshot in place and no temp.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		return errors.New("mid-write crash")
+	}); err == nil {
+		t.Fatal("failing snapshot reported success")
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v1" {
+		t.Fatalf("failed snapshot clobbered previous content: %q", b)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Error("failed snapshot left its temp file behind")
+	}
+}

@@ -107,6 +107,9 @@ func (e *Executor) Run(ctx context.Context, plan *Plan, id trace.ID) (res *Resul
 			return nil, fmt.Errorf("jobs: step %s: %w", st.Label, qerr)
 		}
 		sums[i] = got
+		if plan.Checkpoint != nil {
+			plan.Checkpoint(st.Label)
+		}
 	}
 	return plan.finish(sums)
 }

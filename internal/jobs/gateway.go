@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"privstats/internal/durable"
 	"privstats/internal/metrics"
 	"privstats/internal/trace"
 )
@@ -72,6 +73,12 @@ type GatewayConfig struct {
 	MaxJobs int
 	// JobTimeout bounds one job's execution; 0 means no deadline.
 	JobTimeout time.Duration
+	// StoreDir, when set, makes the job store crash-safe: every lifecycle
+	// transition is journaled (and fsynced) under this directory before it
+	// is acknowledged, and a restart replays the journal — finished jobs
+	// come back verbatim, mid-flight jobs are re-executed or classified
+	// "[interrupted]". Empty keeps the store memory-only.
+	StoreDir string
 	// Metrics receives per-tenant counters; nil allocates a private one.
 	Metrics *metrics.JobMetrics
 	// Logf is the gateway log sink; nil discards.
@@ -95,8 +102,19 @@ type Gateway struct {
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
-	order  []string       // insertion order, for bounded eviction
-	queued map[string]int // per-tenant admitted-but-unfinished jobs
+	order  []string                   // insertion order, for bounded eviction
+	queued map[string]int             // per-tenant admitted-but-unfinished jobs
+	specs  map[string]json.RawMessage // spec JSON of unfinished jobs, for journal compaction
+	// evictions counts jobs dropped from the store since the last journal
+	// compaction; the journal still carries their dead records.
+	evictions int
+
+	// journaling is true when a StoreDir was configured; immutable after
+	// construction, so it is the lock-free fast-path check.
+	journaling bool
+	walMu      sync.Mutex // serializes journal appends with compaction swaps; taken before mu
+	wal        *durable.Journal
+	pending    []recoveredPending // mid-flight jobs replayed at startup, launched once
 }
 
 // NewGateway builds a gateway; it validates the whole configuration before
@@ -137,27 +155,46 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		logf = func(string, ...any) {}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Gateway{
-		cfg:     cfg,
-		tenants: set,
-		sem:     sem,
-		m:       m,
-		logf:    logf,
-		now:     time.Now,
-		ctx:     ctx,
-		cancel:  cancel,
-		jobs:    make(map[string]*Job),
-		queued:  make(map[string]int),
-	}, nil
+	g := &Gateway{
+		cfg:        cfg,
+		tenants:    set,
+		sem:        sem,
+		m:          m,
+		logf:       logf,
+		now:        time.Now,
+		ctx:        ctx,
+		cancel:     cancel,
+		jobs:       make(map[string]*Job),
+		queued:     make(map[string]int),
+		specs:      make(map[string]json.RawMessage),
+		journaling: cfg.StoreDir != "",
+	}
+	if g.journaling {
+		if err := g.openStore(cfg.StoreDir); err != nil {
+			cancel()
+			return nil, err
+		}
+		g.launchRecovered()
+	}
+	return g, nil
 }
 
 // Metrics returns the per-tenant counter registry (for /metrics mounting).
 func (g *Gateway) Metrics() *metrics.JobMetrics { return g.m }
 
-// Close stops accepting, cancels running jobs, and waits for workers.
+// Close stops accepting, cancels running jobs, waits for workers, and
+// closes the store journal.
 func (g *Gateway) Close() {
 	g.cancel()
 	g.wg.Wait()
+	g.walMu.Lock()
+	if g.wal != nil {
+		if err := g.wal.Close(); err != nil {
+			g.logf("jobs: closing store journal: %v", err)
+		}
+		g.wal = nil
+	}
+	g.walMu.Unlock()
 }
 
 // Submit admits one job for tenant. On success the returned snapshot is in
@@ -195,17 +232,41 @@ func (g *Gateway) Submit(tenant string, spec *JobSpec) (Job, error) {
 		State:     StateQueued,
 		Submitted: g.now(),
 	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		tm.Rejected.Inc()
+		return Job{}, fmt.Errorf("jobs: encoding spec: %w", err)
+	}
 
+	// Admission is journal-then-store under walMu: the submitted record is
+	// fsynced BEFORE the job becomes visible, so every acknowledged job ID
+	// exists after a kill, and compaction (which snapshots the store while
+	// holding walMu) can never drop a record journaled but not yet stored.
+	g.walMu.Lock()
 	g.mu.Lock()
 	if g.queued[tenant] >= ts.cfg.MaxQueued {
 		g.mu.Unlock()
+		g.walMu.Unlock()
 		tm.Rejected.Inc()
 		return Job{}, &QuotaError{Tenant: tenant, Reason: fmt.Sprintf("%d jobs already queued (cap %d)", ts.cfg.MaxQueued, ts.cfg.MaxQueued)}
 	}
 	g.queued[tenant]++
+	g.mu.Unlock()
+	if err := g.journalSubmitted(job, raw); err != nil {
+		g.mu.Lock()
+		g.queued[tenant]--
+		g.mu.Unlock()
+		g.walMu.Unlock()
+		tm.Rejected.Inc()
+		return Job{}, err
+	}
+	g.mu.Lock()
 	g.storeLocked(job)
+	g.specs[job.ID] = raw
 	snapshot := *job
 	g.mu.Unlock()
+	g.maybeCompactLocked()
+	g.walMu.Unlock()
 
 	tm.Admitted.Inc()
 	tm.Queued.Inc()
@@ -233,7 +294,10 @@ func (g *Gateway) run(job *Job, plan *Plan, id trace.ID, weight int, tm *metrics
 			job.Result = res
 		}
 		g.queued[job.Tenant]--
+		delete(g.specs, job.ID)
+		rec := finishedRec{ID: job.ID, Finished: now, Result: job.Result, Error: job.Error}
 		g.mu.Unlock()
+		g.journalAppend(recFinished, rec)
 		tm.Queued.Dec()
 		tm.JobNanos.ObserveDuration(now.Sub(admitted))
 		if err != nil {
@@ -255,6 +319,12 @@ func (g *Gateway) run(job *Job, plan *Plan, id trace.ID, weight int, tm *metrics
 	job.State = StateRunning
 	job.Started = now
 	g.mu.Unlock()
+	g.journalAppend(recStarted, startedRec{ID: job.ID, Started: now})
+	if g.journaling {
+		plan.Checkpoint = func(step string) {
+			g.journalAppend(recStep, stepRec{ID: job.ID, Step: step})
+		}
+	}
 
 	ctx := g.ctx
 	if g.cfg.JobTimeout > 0 {
@@ -266,22 +336,33 @@ func (g *Gateway) run(job *Job, plan *Plan, id trace.ID, weight int, tm *metrics
 	finish(res, err)
 }
 
-// storeLocked inserts a job, evicting the oldest finished job when over the
-// cap. Running jobs are never evicted.
+// storeLocked inserts a job, evicting the oldest finished jobs when over
+// the cap. The insertion-order slice is compacted in the same pass, so its
+// length tracks the live job count instead of growing with every submission.
+// Running jobs are never evicted: the store exceeds the cap only while more
+// than MaxJobs jobs are genuinely unfinished.
 func (g *Gateway) storeLocked(job *Job) {
 	g.jobs[job.ID] = job
 	g.order = append(g.order, job.ID)
 	if len(g.jobs) <= g.cfg.MaxJobs {
 		return
 	}
-	for i, id := range g.order {
+	kept := g.order[:0]
+	for _, id := range g.order {
 		j := g.jobs[id]
-		if j == nil || j.State == StateDone || j.State == StateFailed {
-			delete(g.jobs, id)
-			g.order = append(g.order[:i], g.order[i+1:]...)
-			return
+		if j == nil {
+			g.evictions++
+			continue
 		}
+		if len(g.jobs) > g.cfg.MaxJobs && (j.State == StateDone || j.State == StateFailed) {
+			delete(g.jobs, id)
+			delete(g.specs, id)
+			g.evictions++
+			continue
+		}
+		kept = append(kept, id)
 	}
+	g.order = kept
 }
 
 // Status returns a snapshot of the job, if it is still retained.

@@ -31,6 +31,10 @@ type Plan struct {
 	Op string
 	// Steps are the cluster queries, run in order.
 	Steps []Step
+	// Checkpoint, when non-nil, is called with the step label after each
+	// successful step — the gateway's journal hook. Steps are read-only
+	// against the cluster, so checkpoints gate nothing; they record progress.
+	Checkpoint func(step string)
 	// finish combines the decrypted per-step sums (sums[i][j] is step i's
 	// j'th column, in ascending ColumnSet bit order) into the result.
 	finish func(sums [][]*big.Int) (*Result, error)

@@ -1,0 +1,383 @@
+package jobs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"privstats/internal/cluster"
+	"privstats/internal/database"
+	"privstats/internal/durable"
+	"privstats/internal/trace"
+)
+
+// journalRecs writes a hand-crafted journal under dir, simulating the state
+// a killed gateway leaves behind.
+func journalRecs(t *testing.T, dir string, recs ...any) {
+	t.Helper()
+	j, _, err := durable.Open(filepath.Join(dir, journalName), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for _, r := range recs {
+		var typ byte
+		switch r.(type) {
+		case submittedRec:
+			typ = recSubmitted
+		case startedRec:
+			typ = recStarted
+		case stepRec:
+			typ = recStep
+		case finishedRec:
+			typ = recFinished
+		default:
+			t.Fatalf("unknown record %T", r)
+		}
+		payload, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(typ, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func recoveryGateway(t *testing.T, dir, addr string, n int, timeout time.Duration) (*Gateway, error) {
+	t.Helper()
+	return NewGateway(GatewayConfig{
+		Schema:     Schema{Rows: n, Columns: []string{"value"}},
+		Exec:       testExecutor(t, addr),
+		Tenants:    oneTenant(),
+		Slots:      2,
+		JobTimeout: timeout,
+		StoreDir:   dir,
+		Logf:       discardLogf,
+	})
+}
+
+// TestGatewayRecoveryFinishedVerbatim: jobs that completed before the
+// restart come back from the journal exactly as they finished — same ID,
+// state, and result — across two consecutive restarts (the second exercises
+// the compacted journal).
+func TestGatewayRecoveryFinishedVerbatim(t *testing.T) {
+	const n = 24
+	table, err := database.Generate(n, database.DistUniform, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _, _ := startJobCluster(t, table, 2)
+	dir := t.TempDir()
+
+	g, err := recoveryGateway(t, dir, addr, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := g.Submit("acme", &JobSpec{Op: OpSum, Selection: SelectionSpec{All: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitJob(t, g, job.ID)
+	if done.State != StateDone {
+		t.Fatalf("job failed before restart: %s", done.Error)
+	}
+	g.Close()
+
+	for restart := 1; restart <= 2; restart++ {
+		g, err = recoveryGateway(t, dir, addr, n, 0)
+		if err != nil {
+			t.Fatalf("restart %d: %v", restart, err)
+		}
+		got, ok := g.Status(job.ID)
+		if !ok {
+			t.Fatalf("restart %d: finished job not restored", restart)
+		}
+		if got.State != StateDone || got.Result == nil || got.Result.Sum != done.Result.Sum {
+			t.Fatalf("restart %d: restored job %+v, want verbatim %+v", restart, got, done)
+		}
+		if !got.Finished.Equal(done.Finished) {
+			t.Fatalf("restart %d: finished time %v, want %v", restart, got.Finished, done.Finished)
+		}
+		m := g.Metrics()
+		if m.Recovered.Value() != 1 || m.ReplayedBytes.Value() == 0 {
+			t.Fatalf("restart %d: recovered=%d replayed=%d", restart, m.Recovered.Value(), m.ReplayedBytes.Value())
+		}
+		if m.TornTail.Value() != 0 {
+			t.Fatalf("restart %d: clean journal reported torn tail", restart)
+		}
+		g.Close()
+	}
+}
+
+// TestGatewayRecoveryReexecutesMidFlight: a job journaled as submitted (and
+// even started, steps in) but never finished is re-planned and re-executed
+// after restart, ending with the exact oracle statistic — never a partial
+// result.
+func TestGatewayRecoveryReexecutesMidFlight(t *testing.T) {
+	const n = 30
+	table, err := database.Generate(n, database.DistUniform, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _, _ := startJobCluster(t, table, 2)
+	dir := t.TempDir()
+
+	spec := JobSpec{Op: OpSum, Selection: SelectionSpec{Ranges: [][2]int{{2, 19}}}}
+	raw, err := json.Marshal(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := trace.NewID().String()
+	now := time.Now()
+	journalRecs(t, dir,
+		submittedRec{ID: id, Tenant: "acme", Op: OpSum, Submitted: now, Spec: raw},
+		startedRec{ID: id, Started: now},
+		stepRec{ID: id, Step: "sum"},
+	)
+
+	g, err := recoveryGateway(t, dir, addr, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	done := waitJob(t, g, id)
+	if done.State != StateDone {
+		t.Fatalf("re-executed job failed: %s", done.Error)
+	}
+	sel, err := (&spec.Selection).Build(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := table.SelectedSum(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Result.Sum != oracle.String() {
+		t.Fatalf("re-executed sum %s, oracle %s", done.Result.Sum, oracle)
+	}
+	if g.Metrics().Recovered.Value() != 1 {
+		t.Fatalf("recovered counter %d", g.Metrics().Recovered.Value())
+	}
+}
+
+// TestGatewayRecoveryClassifiesInterrupted: mid-flight jobs that cannot be
+// safely re-executed — past their deadline, unknown tenant, unplannable
+// spec — fail cleanly with the [interrupted] code instead of resurrecting
+// as wrong or immortal work.
+func TestGatewayRecoveryClassifiesInterrupted(t *testing.T) {
+	const n = 10
+	addr := "127.0.0.1:1" // never dialed: every recovered job is classified
+	raw := json.RawMessage(`{"op":"sum","selection":{"all":true}}`)
+	old := time.Now().Add(-time.Hour)
+
+	cases := []struct {
+		name string
+		rec  submittedRec
+	}{
+		{"past-deadline", submittedRec{ID: trace.NewID().String(), Tenant: "acme", Op: OpSum, Submitted: old, Spec: raw}},
+		{"unknown-tenant", submittedRec{ID: trace.NewID().String(), Tenant: "ghost", Op: OpSum, Submitted: time.Now(), Spec: raw}},
+		{"unplannable", submittedRec{ID: trace.NewID().String(), Tenant: "acme", Op: OpSum, Submitted: time.Now(),
+			Spec: json.RawMessage(`{"op":"sum","selection":{"ranges":[[0,99]]}}`)}},
+		{"no-spec", submittedRec{ID: trace.NewID().String(), Tenant: "acme", Op: OpSum, Submitted: time.Now()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			journalRecs(t, dir, tc.rec, startedRec{ID: tc.rec.ID, Started: tc.rec.Submitted})
+			g, err := recoveryGateway(t, dir, addr, n, time.Minute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Close()
+			got, ok := g.Status(tc.rec.ID)
+			if !ok {
+				t.Fatal("job not restored")
+			}
+			if got.State != StateFailed || !strings.HasPrefix(got.Error, CodeInterrupted) {
+				t.Fatalf("job %+v, want failed with %s code", got, CodeInterrupted)
+			}
+			// The classification is itself durable: a second restart restores
+			// the same failure instead of re-classifying.
+			g.Close()
+			g2, err := recoveryGateway(t, dir, addr, n, time.Minute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g2.Close()
+			again, ok := g2.Status(tc.rec.ID)
+			if !ok || again.State != StateFailed || again.Error != got.Error {
+				t.Fatalf("reclassified across restarts: %+v vs %+v", again, got)
+			}
+		})
+	}
+}
+
+// TestGatewayRecoveryTornTail: a journal cut mid-record restores every job
+// before the cut and surfaces the torn tail in the counters.
+func TestGatewayRecoveryTornTail(t *testing.T) {
+	const n = 10
+	dir := t.TempDir()
+	raw := json.RawMessage(`{"op":"sum","selection":{"all":true}}`)
+	old := time.Now().Add(-time.Hour)
+	idA := trace.NewID().String()
+	idB := trace.NewID().String()
+	journalRecs(t, dir,
+		submittedRec{ID: idA, Tenant: "acme", Op: OpSum, Submitted: old, Spec: raw},
+		submittedRec{ID: idB, Tenant: "acme", Op: OpSum, Submitted: old, Spec: raw},
+	)
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the middle of the second record: job A survives, job B's
+	// half-written acknowledgment is dropped, and the tail is counted.
+	if err := os.WriteFile(path, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := recoveryGateway(t, dir, "127.0.0.1:1", n, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, ok := g.Status(idA); !ok {
+		t.Fatal("job before the tear not restored")
+	}
+	if _, ok := g.Status(idB); ok {
+		t.Fatal("half-written job resurrected from the torn tail")
+	}
+	m := g.Metrics()
+	if m.TornTail.Value() != 1 || m.Recovered.Value() != 1 {
+		t.Fatalf("torn=%d recovered=%d", m.TornTail.Value(), m.Recovered.Value())
+	}
+}
+
+// TestGatewayRejectsBadStore: an unusable store directory or a corrupt
+// journal header stops gateway construction — the operator finds out before
+// any socket opens, not after jobs silently land in a black hole.
+func TestGatewayRejectsBadStore(t *testing.T) {
+	const n = 10
+	addr := "127.0.0.1:1"
+
+	// Store path is an existing file, not a directory.
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recoveryGateway(t, file, addr, n, 0); err == nil {
+		t.Fatal("file-as-store-dir accepted")
+	}
+
+	// Journal file exists but was never a journal of ours.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, journalName), []byte("hello, I am a text file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recoveryGateway(t, dir, addr, n, 0); err == nil {
+		t.Fatal("corrupt journal accepted")
+	}
+}
+
+// TestGatewayOrderCompaction is the regression test for the insertion-order
+// slice: under sustained submit-and-finish load with a small store cap, the
+// order slice must track the live job count instead of growing without
+// bound.
+func TestGatewayOrderCompaction(t *testing.T) {
+	exec := &Executor{
+		Client:   cluster.NewClient(cluster.ClientConfig{Retries: 0, Backoff: time.Millisecond}),
+		Backends: []string{"127.0.0.1:1"},
+		Key:      jobTestKey(t),
+	}
+	g, err := NewGateway(GatewayConfig{
+		Schema:  Schema{Rows: 10, Columns: []string{"value"}},
+		Exec:    exec,
+		Tenants: oneTenant(),
+		MaxJobs: 3,
+		Logf:    discardLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	for i := 0; i < 50; i++ {
+		job, err := g.Submit("acme", &JobSpec{Op: OpSum, Selection: SelectionSpec{All: true}})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		waitJob(t, g, job.ID)
+		g.mu.Lock()
+		orderLen, jobsLen, specsLen := len(g.order), len(g.jobs), len(g.specs)
+		g.mu.Unlock()
+		if orderLen != jobsLen {
+			t.Fatalf("submit %d: order slice %d entries, %d live jobs", i, orderLen, jobsLen)
+		}
+		if jobsLen > 3 {
+			t.Fatalf("submit %d: store holds %d jobs, cap 3", i, jobsLen)
+		}
+		if specsLen > jobsLen {
+			t.Fatalf("submit %d: %d retained specs for %d jobs", i, specsLen, jobsLen)
+		}
+	}
+}
+
+// TestGatewayJournalCompaction: evicted jobs' journal records are dropped
+// once enough accumulate, so the on-disk journal stays proportional to the
+// store instead of growing with total job throughput.
+func TestGatewayJournalCompaction(t *testing.T) {
+	exec := &Executor{
+		Client:   cluster.NewClient(cluster.ClientConfig{Retries: 0, Backoff: time.Millisecond}),
+		Backends: []string{"127.0.0.1:1"},
+		Key:      jobTestKey(t),
+	}
+	dir := t.TempDir()
+	g, err := NewGateway(GatewayConfig{
+		Schema:   Schema{Rows: 10, Columns: []string{"value"}},
+		Exec:     exec,
+		Tenants:  oneTenant(),
+		MaxJobs:  4,
+		StoreDir: dir,
+		Logf:     discardLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// Enough finished-then-evicted jobs to cross the compaction threshold.
+	for i := 0; i < compactThreshold+20; i++ {
+		job, err := g.Submit("acme", &JobSpec{Op: OpSum, Selection: SelectionSpec{All: true}})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		waitJob(t, g, job.ID)
+	}
+	// Replaying the journal now must see roughly the retained store, not the
+	// full submission history.
+	var recs int
+	g.walMu.Lock()
+	path := g.wal.Path()
+	g.walMu.Unlock()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := durable.Replay(f, func(byte, []byte) error { recs++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// 4 retained jobs × ≤2 records each, plus up to one uncompacted
+	// threshold's worth of fresh records.
+	if recs > 3*compactThreshold {
+		t.Fatalf("journal holds %d records after compaction, want bounded", recs)
+	}
+	if recs < 4 {
+		t.Fatalf("journal holds only %d records, retained jobs missing", recs)
+	}
+}

@@ -35,6 +35,13 @@ type TenantJobs struct {
 
 // JobMetrics is the per-tenant registry. The zero value is ready to use.
 type JobMetrics struct {
+	// Crash-recovery counters, gateway-wide (startup is before any tenant
+	// attribution exists): jobs rebuilt from the store journal, journal
+	// bytes replayed, and torn or corrupt journal tails dropped.
+	Recovered     Counter
+	ReplayedBytes Counter
+	TornTail      Counter
+
 	mu      sync.Mutex
 	tenants map[string]*TenantJobs
 }
@@ -159,6 +166,13 @@ func WritePromJobs(w io.Writer, m *JobMetrics) error {
 	for i, n := range names {
 		writePromHist(&b, "privstats_job_seconds", `tenant="`+promEscape(n)+`",`, &rows[i].JobNanos)
 	}
+
+	promHeader(&b, "privstats_jobs_recovered_total", "counter", "Jobs rebuilt from the store journal at startup.")
+	fmt.Fprintf(&b, "privstats_jobs_recovered_total %d\n", m.Recovered.Value())
+	promHeader(&b, "privstats_jobs_replayed_bytes", "counter", "Store journal bytes replayed at startup.")
+	fmt.Fprintf(&b, "privstats_jobs_replayed_bytes %d\n", m.ReplayedBytes.Value())
+	promHeader(&b, "privstats_jobs_torn_tail_total", "counter", "Torn or corrupt journal tails dropped during replay.")
+	fmt.Fprintf(&b, "privstats_jobs_torn_tail_total %d\n", m.TornTail.Value())
 
 	_, err := w.Write(b.Bytes())
 	return err

@@ -71,6 +71,9 @@ func promFixture() (*ServerMetrics, *ClusterMetrics, *JobMetrics, time.Time) {
 	beta.Submitted.Add(2)
 	beta.Admitted.Add(2)
 	beta.Completed.Add(2)
+	jm.Recovered.Add(4)
+	jm.ReplayedBytes.Add(2048)
+	jm.TornTail.Inc()
 	// beta.JobNanos left empty: renders as bare +Inf/sum/count.
 
 	return sm, cm, jm, t0.Add(90 * time.Second)

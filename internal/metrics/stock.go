@@ -56,6 +56,11 @@ type StockMetrics struct {
 	// sessions refused at the hello (bad key, inventory cap).
 	Sessions     Counter
 	HelloRejects Counter
+
+	// Snapshots counts crash-safe inventory snapshots written (periodic or
+	// drain-triggered SaveAll passes); SnapshotErrors the ones that failed.
+	Snapshots      Counter
+	SnapshotErrors Counter
 }
 
 // Key returns (creating on first use) the named key's bundle. name is the
@@ -108,18 +113,22 @@ type KeyStockSnapshot struct {
 
 // StockSnapshot is the JSON document the daemon's /stats serves.
 type StockSnapshot struct {
-	Sessions     int64              `json:"sessions"`
-	HelloRejects int64              `json:"hello_rejects"`
-	Keys         []KeyStockSnapshot `json:"keys"`
+	Sessions       int64              `json:"sessions"`
+	HelloRejects   int64              `json:"hello_rejects"`
+	Snapshots      int64              `json:"snapshots"`
+	SnapshotErrors int64              `json:"snapshot_errors"`
+	Keys           []KeyStockSnapshot `json:"keys"`
 }
 
 // Snapshot returns every key's counters in name order.
 func (m *StockMetrics) Snapshot() StockSnapshot {
 	names, rows := m.sorted()
 	s := StockSnapshot{
-		Sessions:     m.Sessions.Value(),
-		HelloRejects: m.HelloRejects.Value(),
-		Keys:         make([]KeyStockSnapshot, len(names)),
+		Sessions:       m.Sessions.Value(),
+		HelloRejects:   m.HelloRejects.Value(),
+		Snapshots:      m.Snapshots.Value(),
+		SnapshotErrors: m.SnapshotErrors.Value(),
+		Keys:           make([]KeyStockSnapshot, len(names)),
 	}
 	for i, k := range rows {
 		h := k.FillNanos.Snapshot()
@@ -166,6 +175,10 @@ func WritePromStock(w io.Writer, m *StockMetrics) error {
 	fmt.Fprintf(&b, "privstats_stock_sessions_total %d\n", m.Sessions.Value())
 	promHeader(&b, "privstats_stock_hello_rejects_total", "counter", "Stock sessions refused at the hello (bad key, inventory cap).")
 	fmt.Fprintf(&b, "privstats_stock_hello_rejects_total %d\n", m.HelloRejects.Value())
+	promHeader(&b, "privstats_stock_snapshots_total", "counter", "Crash-safe inventory snapshots written.")
+	fmt.Fprintf(&b, "privstats_stock_snapshots_total %d\n", m.Snapshots.Value())
+	promHeader(&b, "privstats_stock_snapshot_errors_total", "counter", "Inventory snapshot passes that failed.")
+	fmt.Fprintf(&b, "privstats_stock_snapshot_errors_total %d\n", m.SnapshotErrors.Value())
 
 	promHeader(&b, "privstats_stock_depth", "gauge", "Current inventory depth per key and kind.")
 	for i, n := range names {

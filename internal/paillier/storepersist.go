@@ -10,6 +10,8 @@ import (
 	"io"
 	"math/big"
 	"os"
+
+	"privstats/internal/durable"
 )
 
 // Persistence for the preprocessed bit store — the paper's PDA scenario:
@@ -185,34 +187,11 @@ func (s *BitStore) SaveFile(path string) error {
 	})
 }
 
-// saveFileAtomic writes via a temp file and renames into place, so a crash
-// mid-write never leaves a truncated store behind.
+// saveFileAtomic writes via a temp file and renames into place (with fsync
+// on both the file and its directory), so a crash mid-write never leaves a
+// truncated store behind — the shared durable.WriteFileAtomic discipline.
 func saveFileAtomic(path string, write func(io.Writer) error) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("paillier: creating %s: %w", tmp, err)
-	}
-	bw := bufio.NewWriter(f)
-	if err := write(bw); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("paillier: flushing %s: %w", tmp, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("paillier: closing %s: %w", tmp, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("paillier: renaming into place: %w", err)
-	}
-	return nil
+	return durable.WriteFileAtomic(path, write)
 }
 
 // LoadBitStore reads a store saved by SaveFile.

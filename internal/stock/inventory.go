@@ -5,12 +5,16 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"privstats/internal/durable"
 	"privstats/internal/metrics"
 	"privstats/internal/paillier"
 )
@@ -59,10 +63,22 @@ type InventoryConfig struct {
 	// DefaultRefillEvery.
 	RefillEvery time.Duration
 	// StateDir, when non-empty, persists each key's stock to
-	// <dir>/<fp16>.bits and <fp16>.rnd on Close and restores them on the
-	// key's next admission. Restores are fingerprint-bound: files written
-	// for a rotated key fail the storepersist key check and are discarded.
+	// <dir>/<fp16>.bits and <fp16>.rnd (plus the public key itself to
+	// <fp16>.pk) on Close and on periodic snapshots, and restores them on
+	// the key's next admission (or at startup via RestoreAll). Restores are
+	// fingerprint-bound: files written for a rotated key fail the
+	// storepersist key check and are discarded.
 	StateDir string
+	// SnapshotEvery, when positive (and StateDir is set), writes a
+	// crash-safe snapshot of every inventory at this interval, so a SIGKILL
+	// loses at most one interval of generated stock. Zero persists only on
+	// Close.
+	SnapshotEvery time.Duration
+	// SnapshotDelta, when positive, additionally triggers a snapshot as
+	// soon as this many items have been served since the last one — a
+	// hard-drained daemon persists its (lower) depths promptly instead of
+	// restoring a stale, optimistic picture after a crash.
+	SnapshotDelta int
 	// Metrics receives the daemon's counters; nil allocates a fresh set.
 	Metrics *metrics.StockMetrics
 	// Logf receives operational log lines; nil means log.Printf.
@@ -91,6 +107,15 @@ type Inventory struct {
 
 	limiter *rateLimiter
 
+	// restoredBits/restoredRnds/restoredStale accumulate restore outcomes
+	// (under mu) for the startup recovery summary.
+	restoredBits  int
+	restoredRnds  int
+	restoredStale int
+
+	drained  atomic.Int64  // items served since the last snapshot
+	snapWake chan struct{} // serving path → snapshotter, capacity 1
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -107,6 +132,12 @@ func NewInventory(cfg InventoryConfig) (*Inventory, error) {
 	if cfg.MaxKeys < 0 || cfg.Rate < 0 || cfg.RefillEvery < 0 {
 		return nil, errors.New("stock: negative MaxKeys/Rate/RefillEvery")
 	}
+	if cfg.SnapshotEvery < 0 || cfg.SnapshotDelta < 0 {
+		return nil, errors.New("stock: negative SnapshotEvery/SnapshotDelta")
+	}
+	if cfg.SnapshotEvery > 0 && cfg.StateDir == "" {
+		return nil, errors.New("stock: SnapshotEvery needs a StateDir to snapshot into")
+	}
 	if cfg.MaxKeys == 0 {
 		cfg.MaxKeys = DefaultMaxKeys
 	}
@@ -122,15 +153,21 @@ func NewInventory(cfg InventoryConfig) (*Inventory, error) {
 		logf = log.Printf
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Inventory{
-		cfg:     cfg,
-		m:       m,
-		keys:    make(map[[32]byte]*keyStock),
-		limiter: newRateLimiter(cfg.Rate),
-		ctx:     ctx,
-		cancel:  cancel,
-		logf:    logf,
-	}, nil
+	i := &Inventory{
+		cfg:      cfg,
+		m:        m,
+		keys:     make(map[[32]byte]*keyStock),
+		limiter:  newRateLimiter(cfg.Rate),
+		snapWake: make(chan struct{}, 1),
+		ctx:      ctx,
+		cancel:   cancel,
+		logf:     logf,
+	}
+	if cfg.SnapshotEvery > 0 {
+		i.wg.Add(1)
+		go i.snapshotLoop()
+	}
+	return i, nil
 }
 
 // Metrics returns the inventory's metrics set.
@@ -203,36 +240,111 @@ func (k *keyStock) noteDepths() {
 	k.km.DepthRandomizers.Set(int64(k.rand.Depth()))
 }
 
-// statePaths returns the key's persistence file paths.
-func (i *Inventory) statePaths(k *keyStock) (bits, rnd string) {
+// statePaths returns the key's persistence file paths: stock, randomizers,
+// and the public key itself (what lets RestoreAll re-admit the key at
+// startup, before any client has said hello).
+func (i *Inventory) statePaths(k *keyStock) (bits, rnd, pk string) {
 	return filepath.Join(i.cfg.StateDir, k.label+".bits"),
-		filepath.Join(i.cfg.StateDir, k.label+".rnd")
+		filepath.Join(i.cfg.StateDir, k.label+".rnd"),
+		filepath.Join(i.cfg.StateDir, k.label+".pk")
 }
 
 // restore loads persisted stock for a freshly admitted key, best effort: a
 // missing file is normal, a corrupt or key-mismatched file is logged and
-// discarded (the refiller regenerates).
+// discarded (the refiller regenerates). Outcomes accumulate in the
+// inventory's restored* counters (callers hold mu) for the recovery summary.
 func (i *Inventory) restore(k *keyStock) {
 	if i.cfg.StateDir == "" {
 		return
 	}
-	bitsPath, rndPath := i.statePaths(k)
+	bitsPath, rndPath, _ := i.statePaths(k)
 	if st, err := paillier.LoadBitStore(bitsPath, k.pk); err == nil {
 		zeros := st.Take(0, maxRestore)
 		ones := st.Take(1, maxRestore)
 		_ = k.bits.AddStock(0, zeros)
 		_ = k.bits.AddStock(1, ones)
+		i.restoredBits += len(zeros) + len(ones)
 		i.logf("stock: restored %d zeros, %d ones for key %s", len(zeros), len(ones), k.label)
 	} else if !errors.Is(err, os.ErrNotExist) {
+		i.restoredStale++
 		i.logf("stock: discarding bit store %s: %v", bitsPath, err)
 	}
 	if pool, err := paillier.LoadRandomizerPool(rndPath, k.pk); err == nil {
 		rns := pool.Take(maxRestore)
 		_ = k.rand.AddStock(rns)
+		i.restoredRnds += len(rns)
 		i.logf("stock: restored %d randomizers for key %s", len(rns), k.label)
 	} else if !errors.Is(err, os.ErrNotExist) {
+		i.restoredStale++
 		i.logf("stock: discarding randomizer pool %s: %v", rndPath, err)
 	}
+}
+
+// RestoreSummary reports what RestoreAll brought back at startup.
+type RestoreSummary struct {
+	// Keys is the number of keys re-admitted from persisted public keys.
+	Keys int
+	// Bits and Randomizers are the stock items restored across those keys.
+	Bits, Randomizers int
+	// Stale is the number of files discarded: corrupt, key-mismatched, or
+	// unparsable.
+	Stale int
+}
+
+// String renders the one-line structured recovery summary the daemon logs
+// at startup.
+func (s RestoreSummary) String() string {
+	return fmt.Sprintf("keys_restored=%d bits_loaded=%d randomizers_loaded=%d stale_discarded=%d",
+		s.Keys, s.Bits, s.Randomizers, s.Stale)
+}
+
+// RestoreAll scans the state directory for persisted public keys and
+// re-admits each, restoring its stock — so a restarted daemon serves from
+// its snapshots immediately instead of waiting for every client to say
+// hello again. Best effort per file; only an unreadable state directory is
+// an error.
+func (i *Inventory) RestoreAll() (RestoreSummary, error) {
+	var s RestoreSummary
+	if i.cfg.StateDir == "" {
+		return s, nil
+	}
+	entries, err := os.ReadDir(i.cfg.StateDir)
+	if errors.Is(err, os.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return s, fmt.Errorf("stock: reading state dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".pk") {
+			continue
+		}
+		path := filepath.Join(i.cfg.StateDir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			s.Stale++
+			i.logf("stock: reading %s: %v", path, err)
+			continue
+		}
+		pk := new(paillier.PublicKey)
+		if err := pk.UnmarshalBinary(data); err != nil {
+			s.Stale++
+			i.logf("stock: discarding %s: %v", path, err)
+			continue
+		}
+		if _, err := i.Admit(pk); err != nil {
+			s.Stale++
+			i.logf("stock: restoring key from %s: %v", path, err)
+			continue
+		}
+		s.Keys++
+	}
+	i.mu.Lock()
+	s.Bits, s.Randomizers = i.restoredBits, i.restoredRnds
+	s.Stale += i.restoredStale
+	i.mu.Unlock()
+	return s, nil
 }
 
 // maxRestore bounds one restore (matches the storepersist header cap).
@@ -254,7 +366,13 @@ func (i *Inventory) SaveAll() error {
 	i.mu.Unlock()
 	var first error
 	for _, k := range keys {
-		bitsPath, rndPath := i.statePaths(k)
+		bitsPath, rndPath, pkPath := i.statePaths(k)
+		// The public key goes first: RestoreAll discovers state via .pk
+		// files, so a crash mid-pass must never leave stock files behind an
+		// undiscoverable key.
+		if err := i.savePK(k, pkPath); err != nil && first == nil {
+			first = err
+		}
 		if err := k.bits.SaveFile(bitsPath); err != nil && first == nil {
 			first = err
 		}
@@ -263,6 +381,67 @@ func (i *Inventory) SaveAll() error {
 		}
 	}
 	return first
+}
+
+// savePK persists the key's public half so RestoreAll can re-admit it.
+func (i *Inventory) savePK(k *keyStock, path string) error {
+	raw, err := k.pk.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("stock: encoding public key %s: %w", k.label, err)
+	}
+	return durable.WriteFileAtomic(path, func(w io.Writer) error {
+		_, werr := w.Write(raw)
+		return werr
+	})
+}
+
+// snapshotLoop periodically persists every inventory (and early, when the
+// drain delta trips), so a SIGKILL loses at most one interval of stock.
+func (i *Inventory) snapshotLoop() {
+	defer i.wg.Done()
+	timer := time.NewTimer(i.cfg.SnapshotEvery)
+	defer timer.Stop()
+	for {
+		select {
+		case <-i.ctx.Done():
+			return
+		case <-timer.C:
+		case <-i.snapWake:
+		}
+		i.snapshot()
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(i.cfg.SnapshotEvery)
+	}
+}
+
+// snapshot runs one crash-safe SaveAll pass, resetting the drain counter.
+func (i *Inventory) snapshot() {
+	i.drained.Store(0)
+	if err := i.SaveAll(); err != nil {
+		i.m.SnapshotErrors.Inc()
+		i.logf("stock: snapshot: %v", err)
+		return
+	}
+	i.m.Snapshots.Inc()
+}
+
+// noteDrained accumulates served items toward the snapshot drain delta and
+// wakes the snapshotter when it trips.
+func (i *Inventory) noteDrained(n int) {
+	if i.cfg.SnapshotDelta <= 0 || i.cfg.SnapshotEvery <= 0 || n <= 0 {
+		return
+	}
+	if i.drained.Add(int64(n)) >= int64(i.cfg.SnapshotDelta) {
+		select {
+		case i.snapWake <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // Close stops every refiller (cancelling in-flight fills at their next chunk
@@ -355,6 +534,7 @@ func (i *Inventory) take(k *keyStock, req *Request) *Batch {
 		}
 		batch.Items = items
 		k.km.ServedBits.Add(int64(len(cts)))
+		i.noteDrained(len(cts))
 	case KindRandomizers:
 		rns := k.rand.Take(int(req.Count))
 		items := make([]byte, len(rns)*width)
@@ -363,6 +543,7 @@ func (i *Inventory) take(k *keyStock, req *Request) *Batch {
 		}
 		batch.Items = items
 		k.km.ServedRandomizers.Add(int64(len(rns)))
+		i.noteDrained(len(rns))
 	}
 	k.km.ServedBatches.Inc()
 	k.noteDepths()

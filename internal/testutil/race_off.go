@@ -1,0 +1,8 @@
+//go:build !race
+
+package testutil
+
+// RaceEnabled reports whether this test binary was built with the race
+// detector, so helpers that compile child binaries can propagate -race and
+// keep chaos runs race-detected end to end.
+const RaceEnabled = false
