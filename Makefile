@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet check chaos chaos-restart fuzz-smoke bench-fold cluster-demo cover
+.PHONY: all build test race fmt vet check chaos chaos-restart fuzz-smoke bench-fold bench-client cluster-demo cover
 
 all: build
 
@@ -59,7 +59,7 @@ fuzz-smoke:
 	done; \
 	$(GO) test -fuzz='^FuzzParseShardMapSpec$$' -fuzztime=$(FUZZTIME) ./internal/cluster/; \
 	$(GO) test -fuzz='^FuzzReadTable$$' -fuzztime=$(FUZZTIME) ./internal/database/; \
-	for t in FuzzParseCiphertext FuzzPrivateKeyUnmarshal FuzzReadBitStore; do \
+	for t in FuzzParseCiphertext FuzzPrivateKeyUnmarshal FuzzReadBitStore FuzzEncryptCRTEquivalence; do \
 		$(GO) test -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) ./internal/paillier/; \
 	done; \
 	$(GO) test -fuzz='^FuzzFoldEquivalence$$' -fuzztime=$(FUZZTIME) ./internal/selectedsum/; \
@@ -78,6 +78,12 @@ cover:
 # multi-exponentiation benchmark (reference run in results/multiexp.txt).
 bench-fold:
 	$(GO) test -run '^$$' -bench '^BenchmarkFoldMultiExp$$' -benchtime 1x .
+
+# Client-encrypt ablation: the public-key encryption path vs. the key
+# owner's CRT path vs. a CRT-filled randomizer pool, every cell
+# decrypt-verified (reference run in results/client-encrypt.txt).
+bench-client:
+	$(GO) run ./cmd/psbench -fig client -q
 
 # Live sharded deployment on loopback: two sumserver shard backends behind
 # the sumproxy aggregator, queried by sumclient, checked against a direct

@@ -58,7 +58,8 @@ func run(bits int, out string, preprocess int, storePath string) error {
 	fmt.Printf("private key: %s\npublic key:  %s.pub\n", out, out)
 
 	if preprocess > 0 {
-		store := paillier.NewBitStore(sk.Public())
+		// keygen just generated sk, so the fill is owner-side: CRT path.
+		store := paillier.NewBitStoreOwner(sk)
 		start = time.Now()
 		if err := store.FillParallel(preprocess/2, preprocess-preprocess/2, 4); err != nil {
 			return fmt.Errorf("preprocessing: %w", err)

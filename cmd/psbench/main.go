@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2,3,4,5,6,7,9,yao,ablate,chunk,scaling,cluster,preproc,fold,baseline or all")
+	fig := flag.String("fig", "all", "which experiment: 2,3,4,5,6,7,9,yao,ablate,chunk,scaling,cluster,preproc,fold,client,baseline or all")
 	full := flag.Bool("full", false, "use the paper's full 1k-100k sweep (minutes per figure)")
 	keyBits := flag.Int("bits", 512, "Paillier key size (the paper uses 512)")
 	clients := flag.Int("clients", 3, "client count for figure 9")
@@ -177,6 +177,16 @@ func run(cfg bench.Config, fig, csvDir string, chart bool) error {
 				return err
 			}
 			return writeCSV("fold.csv", func(w *os.File) error { return bench.FoldCSV(w, rows) })
+		}},
+		{"client", func() error {
+			rows, err := cfg.ClientEncryptAblation(nil)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteClientEncryptTable(out, rows); err != nil {
+				return err
+			}
+			return writeCSV("client-encrypt.csv", func(w *os.File) error { return bench.ClientEncryptCSV(w, rows) })
 		}},
 		{"preproc", func() error {
 			rows, err := cfg.PreprocessDrain(64, 16)

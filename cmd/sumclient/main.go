@@ -181,7 +181,9 @@ func run(server string, n int, selectFrac float64, indices string, seed int64, k
 			store.Remaining(0), store.Remaining(1))
 		pool = paillier.SchemeBitStore{Store: store}
 	} else if preprocess {
-		store := paillier.NewBitStore(rawSK.Public())
+		// Client-local preprocessing happens on the key owner's device, so
+		// the fill takes the CRT fast path instead of the public r^N route.
+		store := paillier.NewBitStoreOwner(rawSK)
 		start := time.Now()
 		ones := sel.Count()
 		if err := store.FillParallel(n-ones, ones, 4); err != nil {

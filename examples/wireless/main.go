@@ -55,7 +55,8 @@ func main() {
 
 		// With preprocessing: the device encrypted its stock of 0s and 1s
 		// overnight; online it only streams stored ciphertexts.
-		store := paillier.NewBitStore(key.Public())
+		// The PDA owns the key, so its overnight fill uses the CRT path.
+		store := paillier.NewBitStoreOwner(key)
 		preStart := time.Now()
 		if err := store.FillParallel(n-sel.Count(), sel.Count(), 4); err != nil {
 			log.Fatal(err)

@@ -216,6 +216,50 @@ func FoldCSV(w io.Writer, rows []FoldRow) error {
 	return nil
 }
 
+// WriteClientEncryptTable renders the client-encrypt ablation: per count,
+// every variant's total and per-encryption time plus its speedup over the
+// public-key path.
+func WriteClientEncryptTable(w io.Writer, rows []ClientEncryptRow) error {
+	title := "Client encrypt ablation: public-key path vs. owner CRT vs. CRT-filled pool"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "count\tvariant\ttotal\tper enc\tspeedup")
+	naive := map[int]time.Duration{}
+	for _, r := range rows {
+		if r.Variant == "naive" {
+			naive[r.Count] = r.Time
+		}
+	}
+	for _, r := range rows {
+		speedup := "-"
+		if base, ok := naive[r.Count]; ok && r.Time > 0 && r.Variant != "naive" {
+			speedup = fmt.Sprintf("%.2fx", float64(base)/float64(r.Time))
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\n",
+			r.Count, r.Variant, fmtDur(r.Time), fmtDur(r.PerOp()), speedup)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// ClientEncryptCSV writes client-encrypt ablation rows as CSV.
+func ClientEncryptCSV(w io.Writer, rows []ClientEncryptRow) error {
+	if _, err := fmt.Fprintln(w, "count,variant,total_ms,ns_per_enc"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%d,%s,%.3f,%.0f\n",
+			r.Count, r.Variant,
+			float64(r.Time)/float64(time.Millisecond), float64(r.PerOp())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WritePreprocTable renders the preprocessing drain-and-overrun ablation.
 func WritePreprocTable(w io.Writer, rows []PreprocRow) error {
 	title := "Preprocessing pools under overrun (§3.3): pooled vs. online draw cost"

@@ -12,7 +12,6 @@
 package dj
 
 import (
-	"crypto/rand"
 	"errors"
 	"fmt"
 	"io"
@@ -49,6 +48,10 @@ type PublicKey struct {
 	// npow[S-1] is the plaintext modulus n^s.
 	npow    []*big.Int
 	byteLen int
+
+	// fb holds the lazily built fixed-base randomizer table (fixedbase.go).
+	// nil strips the acceleration; a pointer so key copies share one table.
+	fb *djFixedBase
 }
 
 // PrivateKey adds the factorization and λ.
@@ -109,6 +112,7 @@ func newPublicKey(n *big.Int, s int) (*PublicKey, error) {
 		pk.npow[i] = acc
 	}
 	pk.byteLen = (pk.npow[s].BitLen() + 7) / 8
+	pk.fb = &djFixedBase{}
 	return pk, nil
 }
 
@@ -159,13 +163,13 @@ func (pk *PublicKey) Encrypt(m *big.Int) (homomorphic.Ciphertext, error) {
 	if m == nil || m.Sign() < 0 || m.Cmp(pk.PlaintextModulus()) >= 0 {
 		return nil, fmt.Errorf("dj: message outside [0, n^%d)", pk.S)
 	}
-	r, err := mathx.RandUnit(rand.Reader, pk.N)
+	// c = (1+n)^m · rand mod n^(s+1), where rand is γ^t through the
+	// fixed-base table when built, and r^(n^s) on the stripped path.
+	rs, err := pk.randomizer()
 	if err != nil {
-		return nil, fmt.Errorf("dj: sampling nonce: %w", err)
+		return nil, err
 	}
 	mod := pk.CiphertextModulus()
-	// c = (1+n)^m · r^(n^s) mod n^(s+1)
-	rs := new(big.Int).Exp(r, pk.PlaintextModulus(), mod)
 	c := pk.onePlusNPow(m)
 	c.Mul(c, rs)
 	c.Mod(c, mod)

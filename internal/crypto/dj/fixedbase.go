@@ -1,0 +1,101 @@
+package dj
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"privstats/internal/homomorphic"
+	"privstats/internal/mathx"
+)
+
+// Fixed-base acceleration of the Damgård–Jurik randomizer.
+//
+// The expensive half of an encryption is the randomizer r^(n^s) mod n^(s+1):
+// a fresh base under a fixed exponent, which no fixed-base table can serve.
+// Damgård & Jurik's own remark (§4.2 of the PKC 2001 paper) gives the dual
+// form: fix a single unit h, publish γ = h^(n^s) mod n^(s+1), and randomize
+// with γ^t for t drawn from an interval comfortably larger than ord(γ). Now
+// the base is fixed and the per-encryption work is one table-driven
+// mathx.FixedBaseExp walk — ~w-fold fewer multiplications than
+// square-and-multiply.
+//
+// Correctness is unconditional: for ANY unit h, γ^(t·λ) = h^(t·n^s·λ) = 1
+// mod n^(s+1), because n^s·λ(n) is an exponent of the whole group Z*_{n^(s+1)}
+// (its order is n^s·φ(n) and its exponent divides n^s·λ(n)). So Decrypt's
+// c^λ step erases the randomizer exactly as it erases r^(n^s), and fixed-base
+// and naive ciphertexts interoperate freely under Add/ScalarMul.
+//
+// Distribution DOES change: γ^t ranges over the cyclic subgroup ⟨γ⟩ rather
+// than the full group of n^s-th powers, so this is the scheme variant of the
+// paper's §4.2, not a bit-identical drop-in. t carries randomizerSlack extra
+// bits over |n| ≥ |ord(γ)| bits so its reduction mod ord(γ) is statistically
+// close to uniform over the subgroup. h is pinned to the deterministic value
+// n-4 (a unit: gcd(n-4, n) = gcd(4, n) = 1 for odd n), so marshalled keys
+// need no new fields — both sides derive the same γ. DESIGN.md §16 records
+// the trade-off; differential tests pin interop against the stripped oracle
+// from WithoutFixedBase.
+
+const (
+	// fixedBaseWindow is the radix-2^w window of the randomizer table; 6 is
+	// the sweet spot for the 512–1600 bit exponents the bench grid uses.
+	fixedBaseWindow = 6
+	// randomizerSlack is how many bits beyond |n| the exponent t carries so
+	// that t mod ord(γ) is within 2^-64 statistical distance of uniform.
+	randomizerSlack = 64
+)
+
+// djFixedBase is the lazily built table state. It hangs off PublicKey by
+// pointer so copying the key struct (PrivateKey embeds PublicKey by value)
+// shares the table and never copies the sync.Once.
+type djFixedBase struct {
+	once sync.Once
+	tab  *mathx.FixedBaseExp
+	// tLimit = 2^(|n| + randomizerSlack), the exclusive upper bound of t.
+	tLimit *big.Int
+	err    error
+}
+
+// build precomputes the γ table. Called at most once per key, on the first
+// Encrypt/Rerandomize, so parse-only consumers (servers that just Add and
+// fold) never pay for it.
+func (pk *PublicKey) buildFixedBase() {
+	fb := pk.fb
+	tBits := pk.N.BitLen() + randomizerSlack
+	fb.tLimit = new(big.Int).Lsh(mathx.One, uint(tBits))
+	h := new(big.Int).Sub(pk.N, big.NewInt(4))
+	gamma := new(big.Int).Exp(h, pk.PlaintextModulus(), pk.CiphertextModulus())
+	fb.tab, fb.err = mathx.NewFixedBaseExp(gamma, pk.CiphertextModulus(), tBits, fixedBaseWindow)
+}
+
+// randomizer returns a fresh encryption randomizer: γ^t through the
+// fixed-base table when available, r^(n^s) otherwise.
+func (pk *PublicKey) randomizer() (*big.Int, error) {
+	if pk.fb != nil {
+		pk.fb.once.Do(pk.buildFixedBase)
+		if pk.fb.err == nil {
+			t, err := mathx.RandInt(rand.Reader, pk.fb.tLimit)
+			if err != nil {
+				return nil, fmt.Errorf("dj: sampling randomizer exponent: %w", err)
+			}
+			return pk.fb.tab.Exp(t)
+		}
+	}
+	r, err := mathx.RandUnit(rand.Reader, pk.N)
+	if err != nil {
+		return nil, fmt.Errorf("dj: sampling nonce: %w", err)
+	}
+	return new(big.Int).Exp(r, pk.PlaintextModulus(), pk.CiphertextModulus()), nil
+}
+
+// WithoutFixedBase implements homomorphic.FixedBased: it returns an
+// equivalent key whose Encrypt takes the naive r^(n^s) path — the oracle
+// side of the fixed-base differential tests.
+func (pk *PublicKey) WithoutFixedBase() homomorphic.PublicKey {
+	stripped := *pk
+	stripped.fb = nil
+	return &stripped
+}
+
+var _ homomorphic.FixedBased = (*PublicKey)(nil)

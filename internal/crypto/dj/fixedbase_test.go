@@ -1,0 +1,116 @@
+package dj
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"privstats/internal/homomorphic"
+	"privstats/internal/mathx"
+)
+
+// The γ^t randomizer is not bit-compatible with r^(n^s) (it randomizes over
+// a subgroup — see fixedbase.go), so the differential tests here pin what is
+// guaranteed: exact decryption, free interop between fixed-base and stripped
+// ciphertexts under the homomorphic operations, and acceleration surviving a
+// marshal/parse round trip.
+
+func TestFixedBaseRoundTripAllS(t *testing.T) {
+	for _, s := range []int{1, 2, 3} {
+		sk := keyFor(t, 128, s)
+		pk := sk.Public()
+		if pk.fb == nil {
+			t.Fatalf("s=%d: generated key is missing the fixed-base state", s)
+		}
+		for i := 0; i < 10; i++ {
+			m, err := mathx.RandInt(rand.Reader, pk.PlaintextModulus())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct, err := pk.Encrypt(m)
+			if err != nil {
+				t.Fatalf("s=%d: fixed-base Encrypt: %v", s, err)
+			}
+			got, err := sk.Decrypt(ct)
+			if err != nil {
+				t.Fatalf("s=%d: Decrypt: %v", s, err)
+			}
+			if got.Cmp(m) != 0 {
+				t.Fatalf("s=%d: fixed-base round trip %v != %v", s, got, m)
+			}
+		}
+	}
+}
+
+func TestFixedBaseInteropWithStripped(t *testing.T) {
+	sk := keyFor(t, 128, 2)
+	pk := sk.Public()
+	naive := homomorphic.WithoutFixedBase(pk)
+	if npk, ok := naive.(*PublicKey); !ok || npk.fb != nil {
+		t.Fatalf("WithoutFixedBase did not strip the table state (%T)", naive)
+	}
+	fast, err := pk.Encrypt(big.NewInt(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := naive.Encrypt(big.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := pk.Add(fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 42 {
+		t.Fatalf("fixed-base × naive sum decrypts to %v, want 42", got)
+	}
+	// ScalarMul and Rerandomize must also act on fixed-base ciphertexts.
+	tripled, err := pk.ScalarMul(fast, big.NewInt(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := pk.Rerandomize(tripled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = sk.Decrypt(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 123 {
+		t.Fatalf("rerandomized triple decrypts to %v, want 123", got)
+	}
+}
+
+func TestParsedKeyKeepsFixedBase(t *testing.T) {
+	sk := keyFor(t, 128, 1)
+	raw, err := sk.Public().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePublicKey(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.fb == nil {
+		t.Fatal("parsed key is missing the fixed-base state")
+	}
+	if _, ok := interface{}(parsed).(homomorphic.FixedBased); !ok {
+		t.Fatal("parsed key does not expose the FixedBased capability")
+	}
+	ct, err := parsed.Encrypt(big.NewInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 7 {
+		t.Fatalf("ciphertext from parsed key decrypts to %v, want 7", got)
+	}
+}

@@ -44,6 +44,11 @@ type PublicKey struct {
 	MaxPlaintext uint64
 
 	elemLen int
+
+	// fb holds the lazily built fixed-base tables for G and H
+	// (fixedbase.go). nil strips the acceleration; a pointer so key copies
+	// share the tables.
+	fb *egFixedBase
 }
 
 // PrivateKey holds the discrete log x and the lazily built BSGS table.
@@ -109,6 +114,7 @@ func KeyGen(r io.Reader, modulusBits, qBits int, maxPlaintext uint64) (*PrivateK
 		P: p, Q: q, G: g, H: h,
 		MaxPlaintext: maxPlaintext,
 		elemLen:      (p.BitLen() + 7) / 8,
+		fb:           &egFixedBase{},
 	}
 	return &PrivateKey{PublicKey: pk, X: x}, nil
 }
@@ -146,12 +152,20 @@ func (pk *PublicKey) Encrypt(m *big.Int) (homomorphic.Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := new(big.Int).Exp(pk.G, r, pk.P)
-	b := new(big.Int).Exp(pk.H, r, pk.P)
-	gm := new(big.Int).Exp(pk.G, m, pk.P)
-	b.Mul(b, gm)
+	return pk.encryptWithNonce(m, r), nil
+}
+
+// encryptWithNonce is the deterministic encryption core: (g^r, h^r·g^m) for
+// a caller-chosen nonce. All three exponentiations share the two fixed bases
+// and route through the key's tables when present; the output is
+// bit-identical whether or not the tables are built, which is what the
+// fixed-base differential test pins.
+func (pk *PublicKey) encryptWithNonce(m, r *big.Int) *Ciphertext {
+	a := pk.gExp(r)
+	b := pk.hExp(r)
+	b.Mul(b, pk.gExp(m))
 	b.Mod(b, pk.P)
-	return &Ciphertext{A: a, B: b, elemLen: pk.elemLen}, nil
+	return &Ciphertext{A: a, B: b, elemLen: pk.elemLen}
 }
 
 func (pk *PublicKey) asEG(c homomorphic.Ciphertext) (*Ciphertext, error) {
@@ -336,6 +350,7 @@ func ParsePublicKey(data []byte) (*PublicKey, error) {
 		P: vals[0], Q: vals[1], G: vals[2], H: vals[3],
 		MaxPlaintext: maxPt,
 		elemLen:      (vals[0].BitLen() + 7) / 8,
+		fb:           &egFixedBase{},
 	}
 	if pk.P.BitLen() < 48 || pk.Q.Sign() <= 0 || maxPt == 0 {
 		return nil, errors.New("elgamal: implausible key parameters")

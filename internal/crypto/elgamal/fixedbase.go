@@ -1,0 +1,87 @@
+package elgamal
+
+import (
+	"sync"
+
+	"math/big"
+
+	"privstats/internal/homomorphic"
+	"privstats/internal/mathx"
+)
+
+// Fixed-base acceleration of exponential-ElGamal encryption.
+//
+// Every encryption is three exponentiations over exactly two fixed bases —
+// g^r, h^r and g^m — with exponents bounded by q. That is the textbook
+// fixed-base workload, so the key carries two lazily built
+// mathx.FixedBaseExp tables (one per base). Unlike the Damgård–Jurik
+// variant, the accelerated path is bit-identical to the naive one for every
+// (m, r): the table computes the very same g^r mod p, so the differential
+// test can pin equal ciphertexts under a shared nonce rather than settle
+// for decrypt-level equivalence.
+
+// egFixedBaseWindow is the radix-2^w window of both tables; 6 suits the
+// 160–256 bit exponents of the bench grid's subgroup orders.
+const egFixedBaseWindow = 6
+
+// egFixedBase is the lazily built table state. It hangs off PublicKey by
+// pointer so key copies (PrivateKey embeds PublicKey by value) share the
+// tables and never copy the sync.Once.
+type egFixedBase struct {
+	once sync.Once
+	g, h *mathx.FixedBaseExp
+	err  error
+}
+
+// tables returns the built table pair, or nil when the key was stripped
+// (WithoutFixedBase) or the build failed — callers then take the naive path.
+func (pk *PublicKey) tables() *egFixedBase {
+	fb := pk.fb
+	if fb == nil {
+		return nil
+	}
+	fb.once.Do(func() {
+		maxBits := pk.Q.BitLen()
+		fb.g, fb.err = mathx.NewFixedBaseExp(pk.G, pk.P, maxBits, egFixedBaseWindow)
+		if fb.err == nil {
+			fb.h, fb.err = mathx.NewFixedBaseExp(pk.H, pk.P, maxBits, egFixedBaseWindow)
+		}
+	})
+	if fb.err != nil {
+		return nil
+	}
+	return fb
+}
+
+// gExp returns g^e mod p, table-accelerated when possible. e < q always
+// holds on the encryption path, so the table rejects nothing there; the
+// naive fallback keeps the function total regardless.
+func (pk *PublicKey) gExp(e *big.Int) *big.Int {
+	if t := pk.tables(); t != nil {
+		if v, err := t.g.Exp(e); err == nil {
+			return v
+		}
+	}
+	return new(big.Int).Exp(pk.G, e, pk.P)
+}
+
+// hExp returns h^e mod p, table-accelerated when possible.
+func (pk *PublicKey) hExp(e *big.Int) *big.Int {
+	if t := pk.tables(); t != nil {
+		if v, err := t.h.Exp(e); err == nil {
+			return v
+		}
+	}
+	return new(big.Int).Exp(pk.H, e, pk.P)
+}
+
+// WithoutFixedBase implements homomorphic.FixedBased: an equivalent key
+// whose Encrypt runs the plain big.Int.Exp path — the oracle side of the
+// fixed-base differential tests.
+func (pk *PublicKey) WithoutFixedBase() homomorphic.PublicKey {
+	stripped := *pk
+	stripped.fb = nil
+	return &stripped
+}
+
+var _ homomorphic.FixedBased = (*PublicKey)(nil)

@@ -1,0 +1,83 @@
+package elgamal
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"privstats/internal/homomorphic"
+	"privstats/internal/mathx"
+)
+
+// TestFixedBaseMatchesNaiveWithSharedNonce is the strongest differential
+// form: the table-accelerated encryption core must be bit-identical to the
+// stripped key's for every shared (m, r), not merely decrypt-equivalent.
+func TestFixedBaseMatchesNaiveWithSharedNonce(t *testing.T) {
+	sk := testKey(t)
+	pk := &sk.PublicKey
+	if pk.fb == nil {
+		t.Fatal("generated key is missing the fixed-base state")
+	}
+	naive, ok := homomorphic.WithoutFixedBase(pk).(*PublicKey)
+	if !ok || naive.fb != nil {
+		t.Fatal("WithoutFixedBase did not strip the table state")
+	}
+	for i := 0; i < 20; i++ {
+		m, err := mathx.RandInt(rand.Reader, big.NewInt(1<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := mathx.RandInt(rand.Reader, pk.Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast := pk.encryptWithNonce(m, r)
+		slow := naive.encryptWithNonce(m, r)
+		if !bytes.Equal(fast.Bytes(), slow.Bytes()) {
+			t.Fatalf("nonce-shared ciphertexts differ: fb=%x naive=%x", fast.Bytes(), slow.Bytes())
+		}
+		got, err := sk.Decrypt(fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(m) != 0 {
+			t.Fatalf("round trip %v != %v", got, m)
+		}
+	}
+}
+
+func TestFixedBaseInteropAndParsedKey(t *testing.T) {
+	sk := testKey(t)
+	pk := &sk.PublicKey
+	raw, err := pk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePublicKey(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.fb == nil {
+		t.Fatal("parsed key is missing the fixed-base state")
+	}
+	a, err := parsed.Encrypt(big.NewInt(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := homomorphic.WithoutFixedBase(pk).Encrypt(big.NewInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := pk.Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 42 {
+		t.Fatalf("parsed-fb × stripped sum decrypts to %v, want 42", got)
+	}
+}

@@ -96,6 +96,49 @@ func WithoutMultiScalarFold(pk PublicKey) PublicKey {
 // assertion for MultiScalarFolder (or any other capability) fails.
 type baseKeyOnly struct{ PublicKey }
 
+// SelfEncryptor is an optional capability on PrivateKey: key owners that
+// can encrypt under their own key faster than the public path implement it
+// (Paillier splits the randomizer exponentiation over the secret factors —
+// see paillier.EncryptCRT). The protocol layer type-asserts for it when the
+// encrypting party holds the private key and falls back to
+// PublicKey().Encrypt when absent, so schemes without a fast path need no
+// changes.
+type SelfEncryptor interface {
+	// EncryptSelf returns a fresh randomized encryption of m, identically
+	// distributed to PublicKey().Encrypt(m).
+	EncryptSelf(m *big.Int) (Ciphertext, error)
+}
+
+// WithoutSelfEncrypt returns sk stripped of the SelfEncryptor capability
+// (and any other optional capability): the returned key exposes exactly the
+// base PrivateKey interface. Tests and benchmarks use it to pin the
+// public-key encryption path as the correctness oracle.
+func WithoutSelfEncrypt(sk PrivateKey) PrivateKey {
+	return basePrivOnly{sk}
+}
+
+// basePrivOnly promotes only the embedded interface's method set, so a type
+// assertion for SelfEncryptor (or any other capability) fails.
+type basePrivOnly struct{ PrivateKey }
+
+// FixedBased is implemented by public keys whose Encrypt runs through
+// lazily built fixed-base windowed tables (Damgård–Jurik, ElGamal).
+// WithoutFixedBase returns an equivalent key with the acceleration
+// stripped — the naive oracle for differential tests.
+type FixedBased interface {
+	WithoutFixedBase() PublicKey
+}
+
+// WithoutFixedBase strips the fixed-base acceleration from pk when the
+// scheme supports stripping, and otherwise strips every optional capability
+// the generic way.
+func WithoutFixedBase(pk PublicKey) PublicKey {
+	if f, ok := pk.(FixedBased); ok {
+		return f.WithoutFixedBase()
+	}
+	return baseKeyOnly{pk}
+}
+
 // EncryptorPool is implemented by schemes that can hand out precomputed
 // encryptions of fixed plaintexts — the paper's Section 3.3 preprocessing
 // optimization. Implementations must be safe for concurrent use.

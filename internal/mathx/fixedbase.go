@@ -3,6 +3,7 @@ package mathx
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 )
 
 // FixedBaseExp accelerates repeated exponentiations g^e mod m that share the
@@ -85,9 +86,10 @@ func (f *FixedBaseExp) Exp(e *big.Int) (*big.Int, error) {
 	// Walk the exponent window by window from the least significant end;
 	// row i already encodes the 2^(w·i) shift, so the product of the
 	// selected row entries is the full power.
-	bits := e.BitLen()
-	for i := 0; i*int(f.window) < bits; i++ {
-		d := extractWindow(e, uint(i)*f.window, f.window, mask)
+	words := e.Bits()
+	bitLen := e.BitLen()
+	for i := 0; i*int(f.window) < bitLen; i++ {
+		d := extractWindow(words, uint(i)*f.window, f.window, mask)
 		if d == 0 {
 			continue
 		}
@@ -97,13 +99,21 @@ func (f *FixedBaseExp) Exp(e *big.Int) (*big.Int, error) {
 	return result, nil
 }
 
-// extractWindow returns the w-bit digit of e starting at bit position pos.
-func extractWindow(e *big.Int, pos, w uint, mask uint64) uint64 {
-	var d uint64
-	for b := uint(0); b < w; b++ {
-		if e.Bit(int(pos+b)) == 1 {
-			d |= 1 << b
-		}
+// extractWindow returns the w-bit digit starting at bit position pos of the
+// exponent whose little-endian words are given. Reading one word (two when
+// the digit straddles a word boundary) replaces the w sequential big.Int.Bit
+// calls of the earlier implementation, which made Exp quadratic in the
+// exponent bit length.
+func extractWindow(words []big.Word, pos, w uint, mask uint64) uint64 {
+	const wordBits = uint(bits.UintSize)
+	i := pos / wordBits
+	if i >= uint(len(words)) {
+		return 0
+	}
+	off := pos % wordBits
+	d := uint64(words[i] >> off)
+	if off+w > wordBits && i+1 < uint(len(words)) {
+		d |= uint64(words[i+1]) << (wordBits - off)
 	}
 	return d & mask
 }

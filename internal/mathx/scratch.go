@@ -1,0 +1,29 @@
+package mathx
+
+import (
+	"math/big"
+	"sync"
+)
+
+// scratchPool recycles big.Int values for the hot arithmetic paths. A
+// Paillier encryption's intermediate product grows to four times the key
+// size before reduction; without recycling, every encryption reallocates
+// that buffer, which dominates allocation churn at high session counts.
+var scratchPool = sync.Pool{New: func() any { return new(big.Int) }}
+
+// GetScratch returns a big.Int for temporary use. The value carries
+// whatever magnitude its previous user left; callers must fully overwrite
+// it (Set, Mul into it, …) before reading.
+func GetScratch() *big.Int {
+	return scratchPool.Get().(*big.Int)
+}
+
+// PutScratch returns x to the pool. The caller must not retain any
+// reference to x (or aliases of its backing storage) after the call;
+// long-lived results should be copied out with new(big.Int).Set first.
+func PutScratch(x *big.Int) {
+	if x == nil {
+		return
+	}
+	scratchPool.Put(x)
+}

@@ -120,4 +120,43 @@ func FuzzReadBitStore(f *testing.F) {
 	})
 }
 
+// FuzzEncryptCRTEquivalence: for every in-range (m, r) the owner's CRT
+// encryption path must produce the byte-identical ciphertext to the public
+// path, and both must decrypt back to m — the differential gate for the
+// client-encrypt fast path. Out-of-range inputs must be rejected by both
+// paths symmetrically.
+func FuzzEncryptCRTEquivalence(f *testing.F) {
+	sk, err := KeyGen(rand.Reader, 128)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pk := sk.Public()
+	f.Add([]byte{0}, []byte{2})
+	f.Add([]byte{1}, []byte{3})
+	f.Add(new(big.Int).Sub(pk.N, bigOne()).Bytes(), new(big.Int).Sub(pk.N, bigOne()).Bytes())
+	f.Add(sk.P.Bytes(), sk.P.Bytes()) // message fine, nonce shares a factor
+	f.Fuzz(func(t *testing.T, mRaw, rRaw []byte) {
+		m := new(big.Int).SetBytes(mRaw)
+		r := new(big.Int).SetBytes(rRaw)
+		want, errPub := pk.EncryptWithNonce(m, r)
+		got, errCRT := sk.EncryptWithNonceCRT(m, r)
+		if (errPub == nil) != (errCRT == nil) {
+			t.Fatalf("path disagreement: public err=%v, crt err=%v", errPub, errCRT)
+		}
+		if errPub != nil {
+			return
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatal("CRT and public encryption paths produced different ciphertexts")
+		}
+		back, err := sk.Decrypt(got)
+		if err != nil {
+			t.Fatalf("decrypting CRT ciphertext: %v", err)
+		}
+		if back.Cmp(m) != 0 {
+			t.Fatalf("round trip: got %v, want %v", back, m)
+		}
+	})
+}
+
 func bigOne() *big.Int { return big.NewInt(1) }

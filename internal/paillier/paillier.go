@@ -37,6 +37,8 @@ var (
 	ErrMessageRange   = errors.New("paillier: message outside plaintext space [0, n)")
 	ErrCiphertextForm = errors.New("paillier: malformed ciphertext")
 	ErrKeyMismatch    = errors.New("paillier: ciphertext does not belong to this key")
+	ErrNonceRange     = errors.New("paillier: nonce must be in [1, N)")
+	ErrNonceNotUnit   = errors.New("paillier: nonce shares a factor with N")
 )
 
 // PublicKey holds the Paillier public parameters.
@@ -68,6 +70,13 @@ type PrivateKey struct {
 	pMinus1, qMinus1   *big.Int
 	hp, hq             *big.Int
 	crt                *mathx.CRT
+
+	// CRT encryption state (the client-side mirror of the decryption
+	// fields): crt2 recombines residues mod p² and q² into a residue mod
+	// N², and nModPOrd/nModQOrd hold N reduced mod the group orders
+	// p·(p-1) and q·(q-1) of Z*_{p²} and Z*_{q²}. See crt.go.
+	crt2               *mathx.CRT
+	nModPOrd, nModQOrd *big.Int
 }
 
 // KeyGen generates a Paillier key pair whose modulus N has exactly
@@ -107,6 +116,13 @@ func newPrivateKey(p, q *big.Int) (*PrivateKey, error) {
 		return nil, fmt.Errorf("paillier: building CRT state: %w", err)
 	}
 
+	pSquared := new(big.Int).Mul(p, p)
+	qSquared := new(big.Int).Mul(q, q)
+	crt2, err := mathx.NewCRT(pSquared, qSquared)
+	if err != nil {
+		return nil, fmt.Errorf("paillier: building CRT² state: %w", err)
+	}
+
 	priv := &PrivateKey{
 		PublicKey: PublicKey{
 			N:        n,
@@ -117,11 +133,14 @@ func newPrivateKey(p, q *big.Int) (*PrivateKey, error) {
 		Q:        q,
 		Lambda:   lambda,
 		Mu:       mu,
-		pSquared: new(big.Int).Mul(p, p),
-		qSquared: new(big.Int).Mul(q, q),
+		pSquared: pSquared,
+		qSquared: qSquared,
 		pMinus1:  pm1,
 		qMinus1:  qm1,
 		crt:      crt,
+		crt2:     crt2,
+		nModPOrd: new(big.Int).Mod(n, new(big.Int).Mul(p, pm1)),
+		nModQOrd: new(big.Int).Mod(n, new(big.Int).Mul(q, qm1)),
 	}
 
 	// h_x = L_x((n+1)^(x-1) mod x²)^-1 mod x. With g = n+1,
@@ -170,6 +189,22 @@ func (ct *Ciphertext) Bytes() []byte {
 	return ct.c.FillBytes(make([]byte, ct.byteLen))
 }
 
+// AppendBytes appends the fixed-width encoding of ct to dst and returns the
+// extended slice. The wire-encode hot path uses it to serialize a whole
+// chunk of ciphertexts into one preallocated buffer instead of paying a
+// fresh allocation per Bytes call.
+func (ct *Ciphertext) AppendBytes(dst []byte) []byte {
+	n := len(dst)
+	if cap(dst) < n+ct.byteLen {
+		grown := make([]byte, n, n+ct.byteLen)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:n+ct.byteLen]
+	ct.c.FillBytes(dst[n:])
+	return dst
+}
+
 // String implements fmt.Stringer without dumping kilobits of hex.
 func (ct *Ciphertext) String() string {
 	return fmt.Sprintf("paillier.Ciphertext(%d bits)", ct.c.BitLen())
@@ -192,11 +227,26 @@ func (pk *PublicKey) EncryptWithNonce(m, r *big.Int) (*Ciphertext, error) {
 	if err := pk.checkMessage(m); err != nil {
 		return nil, err
 	}
-	if r == nil || r.Sign() <= 0 || r.Cmp(pk.N) >= 0 {
-		return nil, errors.New("paillier: nonce must be in [1, N)")
+	if err := pk.checkNonce(r); err != nil {
+		return nil, err
 	}
 	rn := new(big.Int).Exp(r, pk.N, pk.NSquared)
 	return pk.assembleCiphertext(m, rn), nil
+}
+
+// checkNonce validates that r is a unit of Z*_N. A nonce sharing a factor
+// with N would silently produce a non-unit ciphertext that Neg and
+// decryption later reject with a confusing error — and that would hand a
+// factor of N to anyone who saw it on the wire — so it is rejected here
+// with a structured error.
+func (pk *PublicKey) checkNonce(r *big.Int) error {
+	if r == nil || r.Sign() <= 0 || r.Cmp(pk.N) >= 0 {
+		return ErrNonceRange
+	}
+	if new(big.Int).GCD(nil, nil, r, pk.N).Cmp(mathx.One) != 0 {
+		return ErrNonceNotUnit
+	}
+	return nil
 }
 
 // EncryptWithRandomizer encrypts m using a precomputed randomizer
@@ -212,13 +262,20 @@ func (pk *PublicKey) EncryptWithRandomizer(m, rn *big.Int) (*Ciphertext, error) 
 	return pk.assembleCiphertext(m, rn), nil
 }
 
-// assembleCiphertext computes (1 + m·N)·rn mod N².
+// assembleCiphertext computes (1 + m·N)·rn mod N². The pre-reduction
+// product spans up to four key widths; it is built in pooled scratch so the
+// wide buffer is recycled across encryptions instead of reallocated, and
+// only the reduced result is copied into the (immutable, long-lived)
+// ciphertext.
 func (pk *PublicKey) assembleCiphertext(m, rn *big.Int) *Ciphertext {
-	gm := new(big.Int).Mul(m, pk.N)
-	gm.Add(gm, mathx.One) // 1 + m·N < N² always, no reduction needed
-	gm.Mul(gm, rn)
-	gm.Mod(gm, pk.NSquared)
-	return &Ciphertext{c: gm, byteLen: pk.byteLen}
+	t := mathx.GetScratch()
+	t.Mul(m, pk.N)
+	t.Add(t, mathx.One) // 1 + m·N < N² always, no reduction needed
+	t.Mul(t, rn)
+	t.Mod(t, pk.NSquared)
+	c := new(big.Int).Set(t)
+	mathx.PutScratch(t)
+	return &Ciphertext{c: c, byteLen: pk.byteLen}
 }
 
 func (pk *PublicKey) checkMessage(m *big.Int) error {

@@ -21,6 +21,7 @@ var (
 	_ homomorphic.PublicKey         = Scheme{}
 	_ homomorphic.MultiScalarFolder = Scheme{}
 	_ homomorphic.PrivateKey        = SchemeKey{}
+	_ homomorphic.SelfEncryptor     = SchemeKey{}
 	_ homomorphic.Ciphertext        = (*Ciphertext)(nil)
 )
 
@@ -110,6 +111,13 @@ func (k SchemeKey) Decrypt(c homomorphic.Ciphertext) (*big.Int, error) {
 		return nil, err
 	}
 	return k.SK.Decrypt(cc)
+}
+
+// EncryptSelf implements homomorphic.SelfEncryptor, the optional fast
+// own-key encryption capability the selected-sum client probes for: it
+// routes through the CRT-split exponentiation over the secret factors.
+func (k SchemeKey) EncryptSelf(m *big.Int) (homomorphic.Ciphertext, error) {
+	return k.SK.EncryptCRT(m)
 }
 
 // SchemeBitStore adapts BitStore to homomorphic.EncryptorPool.

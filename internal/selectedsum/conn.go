@@ -262,7 +262,7 @@ func Query(conn *wire.Conn, sk homomorphic.PrivateKey, sel *database.Selection, 
 	if sk == nil {
 		return nil, errors.New("selectedsum: nil private key")
 	}
-	var enc BitEncryptor = Online{PK: sk.PublicKey()}
+	enc := onlineEncryptor(sk, sk.PublicKey())
 	if pool != nil {
 		enc = Pooled{Pool: pool}
 	}
@@ -282,7 +282,7 @@ func QueryColumns(conn *wire.Conn, sk homomorphic.PrivateKey, sel *database.Sele
 	if !cols.Valid() {
 		return nil, fmt.Errorf("selectedsum: unknown column bits in set %s", cols)
 	}
-	var enc BitEncryptor = Online{PK: sk.PublicKey()}
+	enc := onlineEncryptor(sk, sk.PublicKey())
 	if pool != nil {
 		enc = Pooled{Pool: pool}
 	}
@@ -404,11 +404,10 @@ func queryVector(conn *wire.Conn, sk homomorphic.PrivateKey, src VectorSource, c
 			if err != nil {
 				return nil, fmt.Errorf("selectedsum: encrypting entry %d: %w", i, err)
 			}
-			b := ct.Bytes()
-			if len(b) != width {
-				return nil, fmt.Errorf("selectedsum: ciphertext width %d, session expects %d", len(b), width)
+			body, err = appendCiphertext(body, ct, width)
+			if err != nil {
+				return nil, err
 			}
-			body = append(body, b...)
 		}
 		if err := early(); err != nil {
 			return nil, err

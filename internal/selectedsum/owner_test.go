@@ -1,0 +1,65 @@
+package selectedsum
+
+import (
+	"math/big"
+	"testing"
+
+	"privstats/internal/homomorphic"
+	"privstats/internal/netsim"
+)
+
+// TestRunOwnerFastPathMatchesStrippedOracle: the same query must return the
+// same sum whether the client encrypts through the owner's CRT capability
+// (the default, since it holds the private key) or through the public-key
+// oracle forced by stripping SelfEncryptor.
+func TestRunOwnerFastPathMatchesStrippedOracle(t *testing.T) {
+	sk := testKey(t)
+	if _, ok := sk.(homomorphic.SelfEncryptor); !ok {
+		t.Fatal("paillier scheme key lost the SelfEncryptor capability")
+	}
+	stripped := homomorphic.WithoutSelfEncrypt(sk)
+	if _, ok := stripped.(homomorphic.SelfEncryptor); ok {
+		t.Fatal("WithoutSelfEncrypt did not strip the capability")
+	}
+	for _, tc := range []struct{ n, m int }{{40, 13}, {100, 100}, {64, 0}} {
+		table, sel, want := fixture(t, tc.n, tc.m)
+		fast, err := Run(sk, table, sel, Options{Link: netsim.ShortDistance, ChunkSize: 32})
+		if err != nil {
+			t.Fatalf("n=%d owner run: %v", tc.n, err)
+		}
+		slow, err := Run(stripped, table, sel, Options{Link: netsim.ShortDistance, ChunkSize: 32})
+		if err != nil {
+			t.Fatalf("n=%d stripped run: %v", tc.n, err)
+		}
+		if fast.Sum.Cmp(want) != 0 || slow.Sum.Cmp(want) != 0 {
+			t.Errorf("n=%d m=%d: owner sum=%v, oracle sum=%v, want %v", tc.n, tc.m, fast.Sum, slow.Sum, want)
+		}
+		if fast.BytesUp != slow.BytesUp || fast.BytesDown != slow.BytesDown {
+			t.Errorf("n=%d: wire sizes diverge between paths: up %d vs %d, down %d vs %d",
+				tc.n, fast.BytesUp, slow.BytesUp, fast.BytesDown, slow.BytesDown)
+		}
+	}
+}
+
+// TestOwnerOnlineRejectsBadBit mirrors Online's input validation.
+func TestOwnerOnlineRejectsBadBit(t *testing.T) {
+	sk := testKey(t)
+	enc := onlineEncryptor(sk, sk.PublicKey())
+	if _, ok := enc.(OwnerOnline); !ok {
+		t.Fatalf("onlineEncryptor picked %T for a self-encrypting key", enc)
+	}
+	if _, err := enc.EncryptBit(2); err == nil {
+		t.Error("EncryptBit(2) should fail")
+	}
+	ct, err := enc.EncryptBit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sk.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("owner-encrypted bit decrypts to %v, want 1", m)
+	}
+}

@@ -108,7 +108,7 @@ func run(sk homomorphic.PrivateKey, table *database.Table, sel *database.Selecti
 		chunkSize = n
 	}
 
-	var enc BitEncryptor = Online{PK: pk}
+	enc := onlineEncryptor(sk, pk)
 	if opts.Pool != nil {
 		enc = Pooled{Pool: opts.Pool}
 	}

@@ -55,6 +55,35 @@ func (o Online) EncryptBit(bit uint) (homomorphic.Ciphertext, error) {
 	return o.PK.Encrypt(big.NewInt(int64(bit)))
 }
 
+// OwnerOnline encrypts bits on demand through the key owner's
+// self-encryption capability — same ciphertext distribution as Online, but
+// the scheme may exploit the private key (Paillier splits the randomizer
+// exponentiation over the secret factors). The selected-sum client always
+// qualifies: it holds the private key to decrypt the final sum.
+type OwnerOnline struct {
+	SK homomorphic.SelfEncryptor
+}
+
+// EncryptBit implements BitEncryptor.
+func (o OwnerOnline) EncryptBit(bit uint) (homomorphic.Ciphertext, error) {
+	if bit > 1 {
+		return nil, fmt.Errorf("selectedsum: index bit must be 0 or 1, got %d", bit)
+	}
+	return o.SK.EncryptSelf(big.NewInt(int64(bit)))
+}
+
+// onlineEncryptor picks the best online bit encryptor available to a client
+// holding sk: the owner fast path when the scheme exposes it, the plain
+// public-key path otherwise. Stripping the capability
+// (homomorphic.WithoutSelfEncrypt) forces the second branch, which tests use
+// as the correctness oracle.
+func onlineEncryptor(sk homomorphic.PrivateKey, pk homomorphic.PublicKey) BitEncryptor {
+	if se, ok := sk.(homomorphic.SelfEncryptor); ok {
+		return OwnerOnline{SK: se}
+	}
+	return Online{PK: pk}
+}
+
 // Pooled draws preprocessed bit encryptions — the §3.3 optimized client.
 type Pooled struct {
 	Pool homomorphic.EncryptorPool
@@ -82,13 +111,34 @@ func EncryptRange(enc BitEncryptor, sel *database.Selection, lo, hi, width int) 
 		if err != nil {
 			return nil, fmt.Errorf("selectedsum: encrypting index %d: %w", i, err)
 		}
-		b := ct.Bytes()
-		if len(b) != width {
-			return nil, fmt.Errorf("selectedsum: ciphertext width %d, session expects %d", len(b), width)
+		out, err = appendCiphertext(out, ct, width)
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, b...)
 	}
 	return out, nil
+}
+
+// byteAppender is the optional allocation-relief capability on ciphertexts:
+// encode straight into the chunk body instead of through an intermediate
+// Bytes() slice. Paillier implements it; the generic path covers the rest.
+type byteAppender interface {
+	AppendBytes(dst []byte) []byte
+}
+
+// appendCiphertext appends ct's fixed-width encoding to dst, taking the
+// zero-copy path when the ciphertext offers it.
+func appendCiphertext(dst []byte, ct homomorphic.Ciphertext, width int) ([]byte, error) {
+	n := len(dst)
+	if ap, ok := ct.(byteAppender); ok {
+		dst = ap.AppendBytes(dst)
+	} else {
+		dst = append(dst, ct.Bytes()...)
+	}
+	if len(dst)-n != width {
+		return nil, fmt.Errorf("selectedsum: ciphertext width %d, session expects %d", len(dst)-n, width)
+	}
+	return dst, nil
 }
 
 // ServerSession folds encrypted index chunks into the encrypted sum. It is

@@ -196,10 +196,14 @@ func (i *Inventory) Admit(pk *paillier.PublicKey) (*keyStock, error) {
 		fp:    fp,
 		label: label,
 		pk:    pk,
-		bits:  paillier.NewBitStore(pk),
-		rand:  paillier.NewRandomizerPool(pk),
-		km:    i.m.Key(label),
-		wake:  make(chan struct{}, 1),
+		// The daemon preprocesses for foreign keys and never sees a private
+		// key, so it cannot take the owner constructors' CRT fast path
+		// (which needs the factorization of N): its fills stay on the
+		// public r^N route by design. See DESIGN.md §16.
+		bits: paillier.NewBitStore(pk),
+		rand: paillier.NewRandomizerPool(pk),
+		km:   i.m.Key(label),
+		wake: make(chan struct{}, 1),
 	}
 	i.restore(k)
 	i.keys[fp] = k
