@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet check chaos chaos-restart fuzz-smoke bench-fold bench-client cluster-demo cover
+.PHONY: all build test race fmt vet check chaos chaos-restart fuzz-smoke bench-fold bench-client cluster-demo colstore-demo cover
 
 all: build
 
@@ -18,9 +18,10 @@ test:
 # protocol layer it drives, the cluster fan-out, the fault-injection
 # transport, the framed wire layer (its Conn carries cross-goroutine meter
 # and trace state), the job gateway (fair-share scheduler + worker
-# goroutines), and the durability layer (journal append vs. compaction).
+# goroutines), the durability layer (journal append vs. compaction), and
+# the column store (streaming ingest vs. concurrent block reads).
 race:
-	$(GO) test -race ./internal/server/ ./internal/selectedsum/ ./internal/cluster/ ./internal/faultnet/ ./internal/wire/ ./internal/jobs/ ./internal/stock/ ./internal/durable/
+	$(GO) test -race ./internal/server/ ./internal/selectedsum/ ./internal/cluster/ ./internal/faultnet/ ./internal/wire/ ./internal/jobs/ ./internal/stock/ ./internal/durable/ ./internal/colstore/
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -41,13 +42,14 @@ check: fmt vet build test race
 chaos:
 	$(GO) test -race -run 'TestChaos' -count=2 ./internal/cluster/
 
-# Restart-chaos suite: the real sumjobd/stockd binaries SIGKILLed at seeded
-# random points mid-run and restarted on the same state directories, under
-# the race detector. Every job must end exact-vs-oracle or cleanly
-# classified; the stock daemon must restore its last snapshot exactly.
+# Restart-chaos suite: the real sumjobd/stockd/sumserver/sumproxy binaries
+# SIGKILLed at seeded random points mid-run and restarted on the same state
+# directories, under the race detector. Every job must end exact-vs-oracle
+# or cleanly classified; the stock daemon must restore its last snapshot
+# exactly; the resharding migration must never serve a wrong statistic.
 CHAOS_RESTARTS ?= 100
 chaos-restart:
-	CHAOS_RESTARTS=$(CHAOS_RESTARTS) $(GO) test -race -timeout 30m -run 'TestRestartChaos' -count=1 ./internal/chaos/
+	CHAOS_RESTARTS=$(CHAOS_RESTARTS) $(GO) test -race -timeout 45m -run 'TestRestartChaos' -count=1 ./internal/chaos/
 
 # Fuzz smoke: a short live-fuzz burst per target (the seed corpus alone runs
 # in `make test`). Go runs one fuzz target per invocation, hence the loop.
@@ -64,7 +66,8 @@ fuzz-smoke:
 	done; \
 	$(GO) test -fuzz='^FuzzFoldEquivalence$$' -fuzztime=$(FUZZTIME) ./internal/selectedsum/; \
 	$(GO) test -fuzz='^FuzzDecodeJobSpec$$' -fuzztime=$(FUZZTIME) ./internal/jobs/; \
-	$(GO) test -fuzz='^FuzzReplayJournal$$' -fuzztime=$(FUZZTIME) ./internal/durable/
+	$(GO) test -fuzz='^FuzzReplayJournal$$' -fuzztime=$(FUZZTIME) ./internal/durable/; \
+	$(GO) test -fuzz='^FuzzReadBlock$$' -fuzztime=$(FUZZTIME) ./internal/colstore/
 
 # Coverage gate: profile ./internal/..., print per-package percentages, and
 # fail if the total drops below the committed floor. The floor is the
@@ -92,3 +95,14 @@ cluster-demo:
 	@mkdir -p bin
 	$(GO) build -o bin/ ./cmd/sumserver ./cmd/sumproxy ./cmd/sumclient
 	@sh scripts/cluster_demo.sh
+
+# Out-of-core column store demo: generate ROWS rows (default 1e8, ~400 MB)
+# straight to disk, re-read every row against the regenerated stream with
+# peak RSS asserted far below the table size, then serve a shard directory
+# with sumserver -table-dir and pin a real private query to the plaintext
+# scan of the same selection.
+ROWS ?= 1e8
+colstore-demo:
+	@mkdir -p bin
+	$(GO) build -o bin/ ./cmd/cstool ./cmd/sumserver ./cmd/sumclient
+	@ROWS=$(ROWS) sh scripts/colstore_demo.sh

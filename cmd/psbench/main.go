@@ -20,11 +20,12 @@ import (
 	"strings"
 
 	"privstats/internal/bench"
+	"privstats/internal/colstore"
 	"privstats/internal/netsim"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2,3,4,5,6,7,9,yao,ablate,chunk,scaling,cluster,preproc,fold,client,baseline or all")
+	fig := flag.String("fig", "all", "which experiment: 2,3,4,5,6,7,9,yao,ablate,chunk,scaling,colstore,cluster,preproc,fold,client,baseline or all")
 	full := flag.Bool("full", false, "use the paper's full 1k-100k sweep (minutes per figure)")
 	keyBits := flag.Int("bits", 512, "Paillier key size (the paper uses 512)")
 	clients := flag.Int("clients", 3, "client count for figure 9")
@@ -157,6 +158,16 @@ func run(cfg bench.Config, fig, csvDir string, chart bool) error {
 				return err
 			}
 			return bench.WriteScalingTable(out, cfg.Sizes[len(cfg.Sizes)-1], rows)
+		}},
+		{"colstore", func() error {
+			rows, err := cfg.ColstoreSweep(colstore.DefaultBlockRows)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteColstoreTable(out, colstore.DefaultBlockRows, rows); err != nil {
+				return err
+			}
+			return writeCSV("colstore.csv", func(w *os.File) error { return bench.ColstoreCSV(w, rows) })
 		}},
 		{"cluster", func() error {
 			rows, err := cfg.ClusterSweep(nil)

@@ -159,6 +159,9 @@ func main() {
 			Prom:   metrics.PromHandler(srv.Metrics(), client.Metrics()),
 			Traces: recorder,
 			Pprof:  *pprofFlag,
+			Admin: map[string]http.Handler{
+				"/reshard": reshardHandler(agg.Epochs(), client.Metrics()),
+			},
 		})
 		stats = &http.Server{Handler: mux}
 		go func() {

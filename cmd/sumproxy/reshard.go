@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+
+	"privstats/internal/cluster"
+	"privstats/internal/metrics"
+)
+
+// maxReshardBody bounds the shard-map spec an admin may POST; real maps are
+// a few hundred bytes, and the cap keeps a stray upload from ballooning.
+const maxReshardBody = 1 << 20
+
+// reshardHandler is the admin cut-over endpoint: POST /reshard with a new
+// shard-map spec (the -shards syntax, 'lo-hi=primary[|replica...];...') in
+// the request body advances the aggregator's epoch register. Sessions
+// already in flight finish under the epoch they pinned at their hello; the
+// response reports the epoch now serving new sessions.
+//
+// The endpoint only switches the map — provisioning the new backends (and
+// copying their row ranges, e.g. with cstool split + sumserver -table-dir)
+// happens before the POST, and retiring the old ones happens after the old
+// epoch's sessions drain.
+func reshardHandler(epochs *cluster.Epochs, cm *metrics.ClusterMetrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST a shard-map spec to reshard", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxReshardBody+1))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("reading spec: %v", err), http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxReshardBody {
+			http.Error(w, "shard-map spec too large", http.StatusBadRequest)
+			return
+		}
+		spec := strings.TrimSpace(string(body))
+		nm, err := cluster.ParseShardMap(spec)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("invalid shard map: %v", err), http.StatusBadRequest)
+			return
+		}
+		epoch, err := epochs.Advance(nm)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("cut-over rejected: %v", err), http.StatusConflict)
+			return
+		}
+		cm.Reshards.Inc()
+		log.Printf("reshard: advanced to epoch %d (%d rows over %d shards): %s",
+			epoch, nm.Rows(), nm.Len(), nm)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"epoch":  epoch,
+			"rows":   nm.Rows(),
+			"shards": nm.Len(),
+		})
+	})
+}

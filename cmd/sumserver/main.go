@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"privstats/internal/colstore"
 	"privstats/internal/database"
 	"privstats/internal/metrics"
 	"privstats/internal/netsim"
@@ -53,6 +54,8 @@ var errNoSource = errors.New("need -db or -generate")
 func main() {
 	listen := flag.String("listen", ":7001", "address to listen on")
 	dbPath := flag.String("db", "", "table file to serve (written by -save or the database package)")
+	tableDir := flag.String("table-dir", "", "serve a chunked on-disk column store directory (see cstool; exclusive with -db/-generate)")
+	cacheBlocks := flag.Int("cache-blocks", colstore.DefaultCacheBlocks, "decoded-block LRU capacity for -table-dir (negative = no cache)")
 	generate := flag.Int("generate", 0, "generate a synthetic table of this many rows instead of loading one")
 	seed := flag.Int64("seed", 1, "seed for -generate")
 	save := flag.String("save", "", "write the generated table to this path and keep serving")
@@ -78,19 +81,32 @@ func main() {
 		log.Fatalf("sumserver: unknown -throttle %q (want modem, wireless, or empty)", *throttle)
 	}
 
-	table, err := loadTable(*dbPath, *generate, *seed, *save)
-	if errors.Is(err, errNoSource) {
-		flag.Usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		log.Fatalf("sumserver: %v", err)
-	}
-	if *shard != "" {
-		table, err = sliceShard(table, *shard)
+	var src database.Source
+	if *tableDir != "" {
+		if *dbPath != "" || *generate > 0 {
+			log.Fatalf("sumserver: use either -table-dir or -db/-generate, not both")
+		}
+		var err error
+		src, err = openStoreDir(*tableDir, *cacheBlocks, *shard)
 		if err != nil {
 			log.Fatalf("sumserver: %v", err)
 		}
+	} else {
+		table, err := loadTable(*dbPath, *generate, *seed, *save)
+		if errors.Is(err, errNoSource) {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err != nil {
+			log.Fatalf("sumserver: %v", err)
+		}
+		if *shard != "" {
+			table, err = sliceShard(table, *shard)
+			if err != nil {
+				log.Fatalf("sumserver: %v", err)
+			}
+		}
+		src = table
 	}
 
 	var recorder *trace.Recorder
@@ -108,7 +124,7 @@ func main() {
 	if *once {
 		cfg.SessionLimit = 1
 	}
-	srv, err := server.New(table, cfg)
+	srv, err := server.NewSource(src, cfg)
 	if err != nil {
 		log.Fatalf("sumserver: %v", err)
 	}
@@ -117,7 +133,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("sumserver: listen: %v", err)
 	}
-	log.Printf("serving %d rows on %s (throttle=%q, max-sessions=%d)", table.Len(), ln.Addr(), *throttle, *maxSessions)
+	log.Printf("serving %d rows on %s (throttle=%q, max-sessions=%d)", src.Len(), ln.Addr(), *throttle, *maxSessions)
 
 	var stats *http.Server
 	if *statsAddr != "" {
@@ -191,17 +207,9 @@ func loadTable(dbPath string, generate int, seed int64, save string) (*database.
 
 // sliceShard applies the -shard lo:hi restriction.
 func sliceShard(table *database.Table, spec string) (*database.Table, error) {
-	loStr, hiStr, ok := strings.Cut(spec, ":")
-	if !ok {
-		return nil, fmt.Errorf("bad -shard %q (want lo:hi)", spec)
-	}
-	lo, err := strconv.Atoi(loStr)
+	lo, hi, err := parseShardSpec(spec)
 	if err != nil {
-		return nil, fmt.Errorf("bad -shard %q: %w", spec, err)
-	}
-	hi, err := strconv.Atoi(hiStr)
-	if err != nil {
-		return nil, fmt.Errorf("bad -shard %q: %w", spec, err)
+		return nil, err
 	}
 	shard, err := table.Shard(lo, hi)
 	if err != nil {
@@ -209,6 +217,58 @@ func sliceShard(table *database.Table, spec string) (*database.Table, error) {
 	}
 	log.Printf("restricted to shard [%d,%d) of the %d-row table", lo, hi, table.Len())
 	return shard, nil
+}
+
+// parseShardSpec parses "lo:hi".
+func parseShardSpec(spec string) (lo, hi int, err error) {
+	loStr, hiStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shard %q (want lo:hi)", spec)
+	}
+	if lo, err = strconv.Atoi(loStr); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: %w", spec, err)
+	}
+	if hi, err = strconv.Atoi(hiStr); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: %w", spec, err)
+	}
+	return lo, hi, nil
+}
+
+// openStoreDir opens a colstore table directory read-only and applies the
+// optional -shard restriction in global row coordinates: a shard directory
+// written by a migration carries its base row in the header and serves
+// global rows [BaseRow, BaseRow+Len), so -shard lo:hi both cross-checks
+// the directory against the proxy's shard map and slices a full-table
+// directory down to one shard's range.
+func openStoreDir(dir string, cacheBlocks int, shardSpec string) (database.Source, error) {
+	store, err := colstore.Open(dir, colstore.Options{ReadOnly: true, CacheBlocks: cacheBlocks})
+	if err != nil {
+		return nil, err
+	}
+	st := store.Stats()
+	if st.TornTail {
+		log.Printf("column store %s: ignoring a torn tail block (read-only open)", dir)
+	}
+	log.Printf("opened column store %s: %d rows in %d blocks of %d (base row %d)",
+		dir, st.Rows, st.Blocks, st.BlockRows, st.BaseRow)
+	if shardSpec == "" {
+		return store, nil
+	}
+	lo, hi, err := parseShardSpec(shardSpec)
+	if err != nil {
+		return nil, err
+	}
+	base := int(store.BaseRow())
+	if lo < base || hi > base+store.Len() {
+		return nil, fmt.Errorf("-shard [%d,%d) outside the store's global range [%d,%d)",
+			lo, hi, base, base+store.Len())
+	}
+	view, err := store.Range(lo-base, hi-base)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("restricted to shard [%d,%d) of global rows [%d,%d)", lo, hi, base, base+store.Len())
+	return view, nil
 }
 
 // wrapConn frames the connection, optionally through a bandwidth throttle.

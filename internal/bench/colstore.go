@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"privstats/internal/colstore"
+	"privstats/internal/database"
+	"privstats/internal/homomorphic"
+	"privstats/internal/selectedsum"
+	"privstats/internal/wire"
+)
+
+// The out-of-core ablation: the private selected-sum fold served from the
+// chunked on-disk column store versus the in-memory table, plus the raw
+// storage-engine rates (streaming ingest, sequential scan) that bound how
+// fast tables can be (re)built and resharded. The point of the experiment
+// is that the homomorphic fold dominates so completely that pread-backed
+// columns cost nearly nothing — disk residency buys unbounded table size
+// for free at protocol level; results/colstore.txt records a reference run.
+
+// ColstoreRow is one database size of the colstore sweep.
+type ColstoreRow struct {
+	N         int
+	Ingest    time.Duration // streaming BuildFrom, table -> disk blocks
+	Scan      time.Duration // full sequential Scan over every block
+	MemFold   time.Duration // server fold over in-memory columns
+	DiskFold  time.Duration // identical fold over pread-backed columns
+	FileBytes int64
+}
+
+// IngestMrows returns the ingest rate in millions of rows per second.
+func (r ColstoreRow) IngestMrows() float64 { return mrows(r.N, r.Ingest) }
+
+// ScanMrows returns the sequential scan rate in millions of rows per second.
+func (r ColstoreRow) ScanMrows() float64 { return mrows(r.N, r.Scan) }
+
+// Overhead returns DiskFold/MemFold — the out-of-core penalty on the
+// protocol's dominant phase.
+func (r ColstoreRow) Overhead() float64 {
+	if r.MemFold == 0 {
+		return 0
+	}
+	return float64(r.DiskFold) / float64(r.MemFold)
+}
+
+func mrows(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds() / 1e6
+}
+
+// ColstoreSweep builds each sweep size as an on-disk store and times the
+// real server fold (encrypted index vector, shard session, finalize)
+// against both substrates. Every fold is decrypted and checked against the
+// plaintext oracle, so a wrong block read fails the bench rather than
+// skewing it.
+func (c Config) ColstoreSweep(blockRows int) ([]ColstoreRow, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if blockRows == 0 {
+		blockRows = colstore.DefaultBlockRows
+	}
+	sk, _, err := c.newKey()
+	if err != nil {
+		return nil, err
+	}
+	pk := sk.PublicKey()
+
+	scratch, err := os.MkdirTemp("", "psbench-colstore-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+
+	rows := make([]ColstoreRow, 0, len(c.Sizes))
+	for i, n := range c.Sizes {
+		table, sel, err := c.workload(n)
+		if err != nil {
+			return nil, err
+		}
+		want, err := table.SelectedSum(sel)
+		if err != nil {
+			return nil, err
+		}
+
+		dir := fmt.Sprintf("%s/n%d-%d", scratch, n, i)
+		start := time.Now()
+		store, err := colstore.BuildFrom(table, dir, colstore.Options{BlockRows: blockRows})
+		if err != nil {
+			return nil, err
+		}
+		if err := store.Sync(); err != nil {
+			store.Close()
+			return nil, err
+		}
+		ingest := time.Since(start)
+		fileBytes := store.Stats().FileBytes
+
+		start = time.Now()
+		var scanSum uint64
+		if err := store.Scan(0, store.Len(), func(vals []uint32) error {
+			for _, v := range vals {
+				scanSum += uint64(v)
+			}
+			return nil
+		}); err != nil {
+			store.Close()
+			return nil, err
+		}
+		scan := time.Since(start)
+
+		// One encrypted selection serves both folds — the uplink is not
+		// what this ablation measures.
+		body, err := selectedsum.EncryptRange(selectedsum.Online{PK: pk}, sel, 0, n, pk.CiphertextSize())
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+
+		memFold, err := timeFold(sk, table.Column(), body, n, want)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		diskFold, err := timeFold(sk, store.Column(), body, n, want)
+		store.Close()
+		if err != nil {
+			return nil, err
+		}
+
+		row := ColstoreRow{N: n, Ingest: ingest, Scan: scan, MemFold: memFold, DiskFold: diskFold, FileBytes: fileBytes}
+		rows = append(rows, row)
+		c.progressf("colstore n=%d ingest=%.1fMrows/s fold mem=%v disk=%v (%.2fx)\n",
+			n, row.IngestMrows(), memFold.Round(time.Millisecond), diskFold.Round(time.Millisecond), row.Overhead())
+	}
+	return rows, nil
+}
+
+// timeFold runs one shard-session fold over col and pins the decrypted
+// result to the oracle.
+func timeFold(sk homomorphic.PrivateKey, col database.Column, body []byte, n int, want *big.Int) (time.Duration, error) {
+	pk := sk.PublicKey()
+	sess, err := selectedsum.NewShardSession(pk, col, uint64(n), 0)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := sess.Absorb(&wire.IndexChunk{Offset: 0, Ciphertexts: body, Width: pk.CiphertextSize()}); err != nil {
+		return 0, err
+	}
+	ct, err := sess.Finalize(nil)
+	if err != nil {
+		return 0, err
+	}
+	d := time.Since(start)
+	got, err := sk.Decrypt(ct)
+	if err != nil {
+		return 0, err
+	}
+	if got.Cmp(want) != 0 {
+		return 0, fmt.Errorf("bench: colstore fold decrypts to %v, oracle %v", got, want)
+	}
+	return d, nil
+}
+
+// WriteColstoreTable renders the sweep as an aligned table.
+func WriteColstoreTable(w io.Writer, blockRows int, rows []ColstoreRow) error {
+	title := fmt.Sprintf("Out-of-core column store vs in-memory table, %d-row blocks", blockRows)
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "n\tfile KB\tingest\tscan\tmem fold\tdisk fold\toverhead")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.1f Mrows/s\t%.1f Mrows/s\t%s\t%s\t%.3fx\n",
+			r.N, r.FileBytes/1024, r.IngestMrows(), r.ScanMrows(),
+			fmtDur(r.MemFold), fmtDur(r.DiskFold), r.Overhead())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// ColstoreCSV writes the sweep as CSV.
+func ColstoreCSV(w io.Writer, rows []ColstoreRow) error {
+	if _, err := fmt.Fprintln(w, "n,file_bytes,ingest_ms,scan_ms,mem_fold_ms,disk_fold_ms,overhead"); err != nil {
+		return err
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%.3f,%.3f,%.3f,%.3f,%.4f\n",
+			r.N, r.FileBytes, ms(r.Ingest), ms(r.Scan), ms(r.MemFold), ms(r.DiskFold), r.Overhead()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestColstoreSweepShape runs the out-of-core ablation at test scale. The
+// sweep itself decrypt-verifies every fold against the plaintext oracle, so
+// the shape checks here are about the reported rows, not correctness.
+func TestColstoreSweepShape(t *testing.T) {
+	cfg := testConfig()
+	rows, err := cfg.ColstoreSweep(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Sizes) {
+		t.Fatalf("%d rows, want %d", len(rows), len(cfg.Sizes))
+	}
+	for i, r := range rows {
+		if r.N != cfg.Sizes[i] {
+			t.Errorf("row %d: n = %d, want %d", i, r.N, cfg.Sizes[i])
+		}
+		if r.Ingest <= 0 || r.Scan <= 0 || r.MemFold <= 0 || r.DiskFold <= 0 {
+			t.Errorf("n=%d: non-positive timing %+v", r.N, r)
+		}
+		// 32-row blocks over n rows: header + ceil(n/32) slots, 4B rows.
+		if r.FileBytes < int64(4*r.N) {
+			t.Errorf("n=%d: file %d bytes cannot hold %d rows", r.N, r.FileBytes, r.N)
+		}
+		if r.IngestMrows() <= 0 || r.ScanMrows() <= 0 || r.Overhead() <= 0 {
+			t.Errorf("n=%d: non-positive derived rates", r.N)
+		}
+	}
+	if (ColstoreRow{}).Overhead() != 0 {
+		t.Error("zero-row overhead should be 0")
+	}
+	if mrows(100, 0) != 0 {
+		t.Error("mrows with zero duration should be 0")
+	}
+}
+
+func TestColstoreRendering(t *testing.T) {
+	rows := []ColstoreRow{
+		{N: 1000, Ingest: time.Millisecond, Scan: time.Millisecond,
+			MemFold: 20 * time.Millisecond, DiskFold: 21 * time.Millisecond, FileBytes: 4096},
+	}
+	var tbl bytes.Buffer
+	if err := WriteColstoreTable(&tbl, 8192, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"8192-row blocks", "disk fold", "1.050x"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+	var csv bytes.Buffer
+	if err := ColstoreCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "n,file_bytes,") {
+		t.Fatalf("csv:\n%s", csv.String())
+	}
+	if !strings.HasPrefix(lines[1], "1000,4096,") {
+		t.Errorf("csv row: %s", lines[1])
+	}
+}

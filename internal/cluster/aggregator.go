@@ -56,7 +56,7 @@ type AggregatorConfig struct {
 // it already knows) and traffic shape — never the selection, the partials,
 // or the total.
 type Aggregator struct {
-	shards *ShardMap
+	epochs *Epochs
 	client *Client
 	cfg    AggregatorConfig
 	m      *metrics.ClusterMetrics
@@ -69,15 +69,32 @@ func NewAggregator(shards *ShardMap, client *Client) (*Aggregator, error) {
 }
 
 // NewAggregatorWithConfig is NewAggregator with the failure policy knobs.
+// The map is wrapped in a single-epoch register; use NewEpochAggregator to
+// share the register with a Rebalancer for live resharding.
 func NewAggregatorWithConfig(shards *ShardMap, client *Client, cfg AggregatorConfig) (*Aggregator, error) {
-	if shards == nil {
-		return nil, errors.New("cluster: nil shard map")
+	epochs, err := NewEpochs(shards)
+	if err != nil {
+		return nil, err
+	}
+	return NewEpochAggregator(epochs, client, cfg)
+}
+
+// NewEpochAggregator builds an aggregator over a shard-map epoch register.
+// Each session pins the epoch current at its hello and runs entirely under
+// that map; an Advance mid-session affects only later sessions.
+func NewEpochAggregator(epochs *Epochs, client *Client, cfg AggregatorConfig) (*Aggregator, error) {
+	if epochs == nil {
+		return nil, errors.New("cluster: nil epoch register")
 	}
 	if client == nil {
 		return nil, errors.New("cluster: nil client")
 	}
-	return &Aggregator{shards: shards, client: client, cfg: cfg, m: client.Metrics()}, nil
+	return &Aggregator{epochs: epochs, client: client, cfg: cfg, m: client.Metrics()}, nil
 }
+
+// Epochs returns the aggregator's shard-map register, for wiring into a
+// Rebalancer or an admin reshard endpoint.
+func (a *Aggregator) Epochs() *Epochs { return a.epochs }
 
 var _ server.Handler = (*Aggregator)(nil)
 
@@ -167,6 +184,13 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 	}
 	a.m.Queries.Inc()
 
+	// Pin this session to the shard-map epoch current now. Every row-range
+	// decision below — length validation, chunk splitting, fan-out, combine
+	// — uses this one map, even if a rebalance advances the register
+	// mid-session: mixing maps could double-count or drop rows.
+	epoch, smap := a.epochs.Current()
+	a.m.Epoch.Set(int64(epoch))
+
 	// fail mirrors selectedsum.ServeTimed's error path: report to the
 	// possibly-still-uploading client while draining its frames, so the
 	// explanation survives instead of being destroyed by a RST. The report
@@ -217,8 +241,8 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 	if hello.RowOffset != 0 {
 		return fail(fmt.Errorf("cluster: aggregator serves the whole logical database, got row offset %d", hello.RowOffset))
 	}
-	if hello.VectorLen != uint64(a.shards.Rows()) {
-		return fail(fmt.Errorf("cluster: client announces %d rows, cluster serves %d", hello.VectorLen, a.shards.Rows()))
+	if hello.VectorLen != uint64(smap.Rows()) {
+		return fail(fmt.Errorf("cluster: client announces %d rows, cluster serves %d", hello.VectorLen, smap.Rows()))
 	}
 	pk, err := homomorphic.ParsePublicKey(hello.Scheme, hello.PublicKey)
 	if err != nil {
@@ -241,12 +265,13 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 	tr.SetRole("aggregator")
 	tr.Annotate("scheme", hello.Scheme)
 	tr.Annotate("rows", strconv.FormatUint(hello.VectorLen, 10))
-	tr.Annotate("shards", strconv.Itoa(a.shards.Len()))
+	tr.Annotate("shards", strconv.Itoa(smap.Len()))
+	tr.Annotate("epoch", strconv.FormatUint(epoch, 10))
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	shards := a.shards.Shards()
+	shards := smap.Shards()
 	type shardResult struct {
 		i    int
 		cts  []homomorphic.Ciphertext
@@ -300,7 +325,7 @@ func (a *Aggregator) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 		}
 	}
 
-	total := uint64(a.shards.Rows())
+	total := uint64(smap.Rows())
 	var next uint64
 	var splitFirst time.Time
 	chunksSeen := 0

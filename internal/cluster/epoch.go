@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Epochs is a versioned shard-map register: the aggregator pins each query
+// to the map current at its hello and serves the whole session under it,
+// while a rebalance installs successor maps with Advance. Pinning is what
+// makes live resharding safe — a query never sees half an old map and half
+// a new one, so its shard partials always tile the row space exactly once
+// and the combined sum is exact under either epoch.
+type Epochs struct {
+	mu    sync.RWMutex
+	epoch uint64
+	m     *ShardMap
+}
+
+// NewEpochs starts the register at epoch 1 with the given map.
+func NewEpochs(m *ShardMap) (*Epochs, error) {
+	if m == nil {
+		return nil, errors.New("cluster: nil shard map")
+	}
+	return &Epochs{epoch: 1, m: m}, nil
+}
+
+// Current returns the live epoch and its map. The map is immutable; callers
+// may hold it for a whole session.
+func (e *Epochs) Current() (uint64, *ShardMap) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epoch, e.m
+}
+
+// Advance installs m as the next epoch and returns its number. The new map
+// must tile the same row count: resharding moves rows between backends, it
+// never grows or shrinks the logical database mid-flight (ingest changes
+// length on the storage layer, below this register). Sessions already
+// pinned to the old epoch keep using it untouched.
+func (e *Epochs) Advance(m *ShardMap) (uint64, error) {
+	if m == nil {
+		return 0, errors.New("cluster: nil shard map")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m.Rows() != e.m.Rows() {
+		return 0, fmt.Errorf("cluster: epoch %d serves %d rows, successor map serves %d",
+			e.epoch, e.m.Rows(), m.Rows())
+	}
+	e.epoch++
+	e.m = m
+	return e.epoch, nil
+}

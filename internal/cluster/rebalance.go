@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"privstats/internal/metrics"
+)
+
+// Target is one shard of a desired post-reshard map. Backends may be left
+// empty, in which case the rebalancer provisions the shard: copies its row
+// range onto fresh storage, starts (or adopts) backends there, and learns
+// their addresses from the Provision hook.
+type Target struct {
+	// Lo and Hi bound the shard's global row range [Lo, Hi).
+	Lo, Hi int
+	// Backends are the serving addresses, primary first. Empty means
+	// "provision this range".
+	Backends []string
+}
+
+// RebalancerConfig wires a Rebalancer. Provision is required; the rest is
+// optional.
+type RebalancerConfig struct {
+	// Epochs is the register shared with the serving aggregator.
+	Epochs *Epochs
+	// Provision materialises rows [lo, hi) on new storage and returns the
+	// backend addresses now serving that range. The hook owns the actual
+	// data movement (e.g. colstore.ExtractShard block copy + CRC verify)
+	// and the backend lifecycle; keeping it out of this package keeps the
+	// cluster layer storage-agnostic.
+	Provision func(ctx context.Context, lo, hi int) ([]string, error)
+	// Retire, when non-nil, is called once per old shard that is no longer
+	// part of the advanced map (after the drain grace), so its backends can
+	// be decommissioned and their storage released.
+	Retire func(old Shard)
+	// DrainGrace is how long to wait between advancing the epoch and
+	// retiring old shards: sessions pinned to the previous epoch are still
+	// folding on the old backends. Zero retires immediately (tests).
+	DrainGrace time.Duration
+	// Metrics, when non-nil, has Reshards incremented per completed
+	// cut-over.
+	Metrics *metrics.ClusterMetrics
+	// Logf, when non-nil, narrates the phases.
+	Logf func(format string, args ...any)
+}
+
+// Rebalancer drives a live reshard through its state machine:
+//
+//	planning → copying → cutover → draining → retiring → done
+//
+// Copying provisions every target range that needs new backends (block
+// copy + verify happen inside the Provision hook); cutover atomically
+// advances the shared epoch register so new sessions use the new map while
+// pinned sessions finish under the old one; draining waits out those
+// sessions; retiring releases the replaced shards. A failure before
+// cutover leaves the cluster exactly on the old epoch with the old
+// backends untouched — the new copies are garbage to be collected, never
+// a half-installed map.
+type Rebalancer struct {
+	cfg RebalancerConfig
+
+	mu     sync.Mutex
+	status RebalanceStatus
+	busy   bool
+}
+
+// RebalanceStatus is a snapshot of the state machine for logs and tests.
+type RebalanceStatus struct {
+	// Phase is one of idle, planning, copying, cutover, draining,
+	// retiring, done, failed.
+	Phase string
+	// Provisioned and ToProvision count target ranges through the copying
+	// phase.
+	Provisioned, ToProvision int
+	// Epoch is the epoch installed by the last successful cut-over.
+	Epoch uint64
+}
+
+// NewRebalancer validates the wiring.
+func NewRebalancer(cfg RebalancerConfig) (*Rebalancer, error) {
+	if cfg.Epochs == nil {
+		return nil, errors.New("cluster: rebalancer needs an epoch register")
+	}
+	if cfg.Provision == nil {
+		return nil, errors.New("cluster: rebalancer needs a Provision hook")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Rebalancer{cfg: cfg, status: RebalanceStatus{Phase: "idle"}}, nil
+}
+
+// Status returns the current state-machine snapshot.
+func (r *Rebalancer) Status() RebalanceStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+func (r *Rebalancer) setPhase(phase string, mut func(*RebalanceStatus)) {
+	r.mu.Lock()
+	r.status.Phase = phase
+	if mut != nil {
+		mut(&r.status)
+	}
+	r.mu.Unlock()
+	r.cfg.Logf("rebalance: %s", phase)
+}
+
+// Reshard drives one reshard to the target layout and returns the new
+// epoch and its map. Only one reshard may run at a time.
+func (r *Rebalancer) Reshard(ctx context.Context, targets []Target) (uint64, *ShardMap, error) {
+	r.mu.Lock()
+	if r.busy {
+		r.mu.Unlock()
+		return 0, nil, errors.New("cluster: reshard already in progress")
+	}
+	r.busy = true
+	r.status = RebalanceStatus{Phase: "planning"}
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.busy = false
+		r.mu.Unlock()
+	}()
+
+	epoch, nm, err := r.reshard(ctx, targets)
+	if err != nil {
+		r.setPhase("failed", nil)
+		return 0, nil, err
+	}
+	r.setPhase("done", nil)
+	return epoch, nm, nil
+}
+
+func (r *Rebalancer) reshard(ctx context.Context, targets []Target) (uint64, *ShardMap, error) {
+	oldEpoch, oldMap := r.cfg.Epochs.Current()
+	toProvision := 0
+	for _, t := range targets {
+		if len(t.Backends) == 0 {
+			toProvision++
+		}
+	}
+	r.setPhase("copying", func(s *RebalanceStatus) { s.ToProvision = toProvision })
+
+	// Copy phase: provision every backend-less target. Sequential and
+	// resumable-by-retry — the Provision hook is expected to redo a range
+	// from scratch (ExtractShard clears stale copies), so a crash or error
+	// here never taints the serving epoch.
+	shards := make([]Shard, len(targets))
+	for i, t := range targets {
+		backends := t.Backends
+		if len(backends) == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, nil, err
+			}
+			r.cfg.Logf("rebalance: provisioning rows [%d,%d)", t.Lo, t.Hi)
+			var err error
+			backends, err = r.cfg.Provision(ctx, t.Lo, t.Hi)
+			if err != nil {
+				return 0, nil, fmt.Errorf("cluster: provisioning rows [%d,%d): %w", t.Lo, t.Hi, err)
+			}
+			if len(backends) == 0 {
+				return 0, nil, fmt.Errorf("cluster: provisioning rows [%d,%d): no backends", t.Lo, t.Hi)
+			}
+			r.mu.Lock()
+			r.status.Provisioned++
+			r.mu.Unlock()
+		}
+		shards[i] = Shard{Lo: t.Lo, Hi: t.Hi, Backends: backends}
+	}
+
+	// The map constructor re-validates the tiling (gap-free, in-order,
+	// non-overlapping) and Advance re-validates the row count against the
+	// serving epoch — a bad target layout dies here, before cut-over.
+	nm, err := NewShardMap(shards)
+	if err != nil {
+		return 0, nil, err
+	}
+	r.setPhase("cutover", nil)
+	epoch, err := r.cfg.Epochs.Advance(nm)
+	if err != nil {
+		return 0, nil, err
+	}
+	if r.cfg.Metrics != nil {
+		r.cfg.Metrics.Reshards.Inc()
+	}
+	r.mu.Lock()
+	r.status.Epoch = epoch
+	r.mu.Unlock()
+	r.cfg.Logf("rebalance: epoch %d -> %d (%d shards)", oldEpoch, epoch, nm.Len())
+
+	// Drain: sessions pinned to the old epoch are still mid-fold against
+	// the old backends; give them their grace before anything is retired.
+	// Retirement proceeds even if ctx was cancelled mid-grace — stopping
+	// here would leak the old backends forever.
+	if r.cfg.DrainGrace > 0 {
+		r.setPhase("draining", nil)
+		t := time.NewTimer(r.cfg.DrainGrace)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
+
+	// Retire every old shard not carried verbatim into the new map.
+	if r.cfg.Retire != nil {
+		r.setPhase("retiring", nil)
+		for _, old := range oldMap.Shards() {
+			if !containsShard(nm, old) {
+				r.cfg.Logf("rebalance: retiring shard [%d,%d)", old.Lo, old.Hi)
+				r.cfg.Retire(old)
+			}
+		}
+	}
+	return epoch, nm, nil
+}
+
+// containsShard reports whether m carries s verbatim: same range, same
+// backends in the same order.
+func containsShard(m *ShardMap, s Shard) bool {
+	for _, t := range m.Shards() {
+		if t.Lo != s.Lo || t.Hi != s.Hi || len(t.Backends) != len(s.Backends) {
+			continue
+		}
+		same := true
+		for i := range t.Backends {
+			if t.Backends[i] != s.Backends[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}

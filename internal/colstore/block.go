@@ -1,0 +1,156 @@
+// Package colstore is the out-of-core column engine: a chunked on-disk
+// store of 32-bit rows, laid out as fixed-size CRC-framed blocks behind the
+// same envelope discipline as the durable journal (magic, version, CRC-32
+// IEEE, torn-tail tolerance, foreign-file hard reject). It exposes the
+// database.Column interfaces, so the selected-sum fold, the cluster shards,
+// and cmd/sumserver serve disk-resident tables exactly as they serve
+// in-memory ones — the storage layer behind the 10^8-row north star.
+//
+// On-disk layout (<dir>/table.pscs), all integers big-endian:
+//
+//	header:  "PSCT" | version u32 | blockRows u32 | flags u32 | baseRow u64
+//	slot i:  "PSCB" | index u64 | count u32 | payload blockRows*4 B | crc u32
+//
+// Every slot has the same size, so block i lives at a computable offset and
+// a single pread serves any row. The CRC covers everything before it in the
+// slot. All blocks are full (count == blockRows) except possibly the last;
+// rows past count are zero padding. Full blocks are immutable — only the
+// trailing partial slot is ever rewritten — which is the whole crash model:
+// a torn write can damage at most the tail block, and Open drops it.
+package colstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// TableFile is the single data file inside a table directory.
+const TableFile = "table.pscs"
+
+const (
+	fileMagic  = "PSCT"
+	blockMagic = "PSCB"
+	version    = 1
+
+	headerSize    = 24 // magic + version + blockRows + flags + baseRow
+	slotHeadSize  = 16 // magic + index + count
+	slotTrailSize = 4  // crc
+
+	// MaxBlockRows bounds rows per block so a corrupted header cannot
+	// drive slot-size arithmetic or allocations to absurd values.
+	MaxBlockRows = 1 << 24
+)
+
+// ErrCorruptStore reports a structurally damaged table file: foreign magic,
+// unsupported version, impossible geometry, or a CRC mismatch beyond the
+// single torn tail slot the crash model allows.
+var ErrCorruptStore = errors.New("colstore: corrupt table file")
+
+// Header is the decoded table-file header.
+type Header struct {
+	// BlockRows is the fixed row capacity of every block.
+	BlockRows int
+	// BaseRow is the global row index of local row 0 — shard directories
+	// produced by a migration are self-describing about their range.
+	BaseRow uint64
+}
+
+// slotSize returns the byte size of one block slot for the given geometry.
+func slotSize(blockRows int) int {
+	return slotHeadSize + blockRows*4 + slotTrailSize
+}
+
+// EncodeHeader renders the file header.
+func EncodeHeader(h Header) []byte {
+	buf := make([]byte, headerSize)
+	copy(buf, fileMagic)
+	binary.BigEndian.PutUint32(buf[4:], version)
+	binary.BigEndian.PutUint32(buf[8:], uint32(h.BlockRows))
+	binary.BigEndian.PutUint32(buf[12:], 0)
+	binary.BigEndian.PutUint64(buf[16:], h.BaseRow)
+	return buf
+}
+
+// ParseHeader decodes and validates a file header. Foreign magic is a hard
+// reject: a PSDB table, a journal, or arbitrary bytes must never be
+// misread as an empty or tiny column store.
+func ParseHeader(buf []byte) (Header, error) {
+	if len(buf) < headerSize {
+		return Header{}, fmt.Errorf("%w: header %d bytes, want %d", ErrCorruptStore, len(buf), headerSize)
+	}
+	if string(buf[:4]) != fileMagic {
+		return Header{}, fmt.Errorf("%w: bad magic %q", ErrCorruptStore, buf[:4])
+	}
+	if v := binary.BigEndian.Uint32(buf[4:]); v != version {
+		return Header{}, fmt.Errorf("%w: unsupported version %d", ErrCorruptStore, v)
+	}
+	br := binary.BigEndian.Uint32(buf[8:])
+	if br == 0 || br > MaxBlockRows {
+		return Header{}, fmt.Errorf("%w: block rows %d out of range [1,%d]", ErrCorruptStore, br, MaxBlockRows)
+	}
+	if flags := binary.BigEndian.Uint32(buf[12:]); flags != 0 {
+		return Header{}, fmt.Errorf("%w: unknown header flags %#x", ErrCorruptStore, flags)
+	}
+	return Header{
+		BlockRows: int(br),
+		BaseRow:   binary.BigEndian.Uint64(buf[16:]),
+	}, nil
+}
+
+// EncodeBlock renders one slot: block number index holding vals, padded to
+// blockRows rows, CRC-trailed. len(vals) must be in [1, blockRows].
+func EncodeBlock(index uint64, blockRows int, vals []uint32) ([]byte, error) {
+	if blockRows <= 0 || blockRows > MaxBlockRows {
+		return nil, fmt.Errorf("colstore: block rows %d out of range", blockRows)
+	}
+	if len(vals) == 0 || len(vals) > blockRows {
+		return nil, fmt.Errorf("colstore: %d rows in a %d-row block", len(vals), blockRows)
+	}
+	buf := make([]byte, slotSize(blockRows))
+	copy(buf, blockMagic)
+	binary.BigEndian.PutUint64(buf[4:], index)
+	binary.BigEndian.PutUint32(buf[12:], uint32(len(vals)))
+	for i, v := range vals {
+		binary.BigEndian.PutUint32(buf[slotHeadSize+4*i:], v)
+	}
+	crc := crc32.ChecksumIEEE(buf[:len(buf)-slotTrailSize])
+	binary.BigEndian.PutUint32(buf[len(buf)-slotTrailSize:], crc)
+	return buf, nil
+}
+
+// ReadBlock decodes one slot buffer for block number index under the given
+// geometry. It returns the block's rows (count of them, padding stripped).
+// Truncation, a flipped bit anywhere under the CRC, foreign magic, an index
+// mismatch, or an impossible count all return ErrCorruptStore — never a
+// panic, whatever the bytes (the fuzz target pins this).
+func ReadBlock(buf []byte, blockRows int, index uint64) ([]uint32, error) {
+	if blockRows <= 0 || blockRows > MaxBlockRows {
+		return nil, fmt.Errorf("colstore: block rows %d out of range", blockRows)
+	}
+	want := slotSize(blockRows)
+	if len(buf) < want {
+		return nil, fmt.Errorf("%w: slot %d bytes, want %d", ErrCorruptStore, len(buf), want)
+	}
+	buf = buf[:want]
+	if string(buf[:4]) != blockMagic {
+		return nil, fmt.Errorf("%w: bad block magic %q", ErrCorruptStore, buf[:4])
+	}
+	crc := crc32.ChecksumIEEE(buf[:want-slotTrailSize])
+	if got := binary.BigEndian.Uint32(buf[want-slotTrailSize:]); got != crc {
+		return nil, fmt.Errorf("%w: block %d crc %#x, want %#x", ErrCorruptStore, index, got, crc)
+	}
+	if got := binary.BigEndian.Uint64(buf[4:]); got != index {
+		return nil, fmt.Errorf("%w: block numbered %d at slot %d", ErrCorruptStore, got, index)
+	}
+	count := binary.BigEndian.Uint32(buf[12:])
+	if count == 0 || int64(count) > int64(blockRows) {
+		return nil, fmt.Errorf("%w: block %d holds %d rows of %d", ErrCorruptStore, index, count, blockRows)
+	}
+	vals := make([]uint32, count)
+	for i := range vals {
+		vals[i] = binary.BigEndian.Uint32(buf[slotHeadSize+4*i:])
+	}
+	return vals, nil
+}

@@ -1,0 +1,51 @@
+package colstore
+
+import "container/list"
+
+// blockCache is a small LRU over decoded blocks. Only immutable full blocks
+// enter it (the mutable tail block is served from memory), so there is no
+// invalidation protocol — an entry is correct forever.
+type blockCache struct {
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[int]*list.Element
+}
+
+type cacheEntry struct {
+	block int
+	vals  []uint32
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{cap: capacity, ll: list.New(), m: make(map[int]*list.Element, capacity)}
+}
+
+// get returns the cached rows of block b, promoting it to most recent.
+func (c *blockCache) get(b int) ([]uint32, bool) {
+	el, ok := c.m[b]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).vals, true
+}
+
+// put inserts block b, evicting the least recently used entry past capacity.
+func (c *blockCache) put(b int, vals []uint32) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.m[b]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).vals = vals
+		return
+	}
+	c.m[b] = c.ll.PushFront(&cacheEntry{block: b, vals: vals})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).block)
+	}
+}
+
+func (c *blockCache) len() int { return c.ll.Len() }

@@ -1,0 +1,343 @@
+package colstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"privstats/internal/database"
+)
+
+// TestParseHeaderRejects walks the header validation: every structurally
+// wrong header is ErrCorruptStore, and a good one round-trips its geometry.
+func TestParseHeaderRejects(t *testing.T) {
+	good := EncodeHeader(Header{BlockRows: 512, BaseRow: 77})
+	h, err := ParseHeader(good)
+	if err != nil || h.BlockRows != 512 || h.BaseRow != 77 {
+		t.Fatalf("good header: %+v, %v", h, err)
+	}
+
+	mut := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"short":          good[:headerSize-1],
+		"foreign magic":  mut(func(b []byte) { copy(b, "PSDB") }),
+		"bad version":    mut(func(b []byte) { b[7] = 9 }),
+		"zero blockRows": mut(func(b []byte) { b[8], b[9], b[10], b[11] = 0, 0, 0, 0 }),
+		"huge blockRows": mut(func(b []byte) { b[8] = 0xff }),
+		"unknown flags":  mut(func(b []byte) { b[15] = 1 }),
+	}
+	for name, buf := range cases {
+		if _, err := ParseHeader(buf); !errors.Is(err, ErrCorruptStore) {
+			t.Errorf("%s: err = %v, want ErrCorruptStore", name, err)
+		}
+	}
+}
+
+// TestBlockGeometryRejects pins the EncodeBlock/ReadBlock argument checks —
+// the callers' bugs, not on-disk corruption, so plain errors.
+func TestBlockGeometryRejects(t *testing.T) {
+	if _, err := EncodeBlock(0, 0, []uint32{1}); err == nil {
+		t.Error("EncodeBlock accepted zero blockRows")
+	}
+	if _, err := EncodeBlock(0, MaxBlockRows+1, []uint32{1}); err == nil {
+		t.Error("EncodeBlock accepted oversized blockRows")
+	}
+	if _, err := EncodeBlock(0, 8, nil); err == nil {
+		t.Error("EncodeBlock accepted an empty block")
+	}
+	if _, err := EncodeBlock(0, 8, make([]uint32, 9)); err == nil {
+		t.Error("EncodeBlock accepted an overfull block")
+	}
+	buf, err := EncodeBlock(0, 8, []uint32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBlock(buf, 0, 0); err == nil {
+		t.Error("ReadBlock accepted zero blockRows")
+	}
+	if _, err := ReadBlock(buf, MaxBlockRows+1, 0); err == nil {
+		t.Error("ReadBlock accepted oversized blockRows")
+	}
+}
+
+// TestCreateRejects covers the Create precondition paths: bad geometry, an
+// existing table file, and an uncreatable directory.
+func TestCreateRejects(t *testing.T) {
+	if _, err := Create(t.TempDir(), Options{BlockRows: -1}); err == nil {
+		t.Error("Create accepted negative blockRows")
+	}
+	if _, err := Create(t.TempDir(), Options{BlockRows: MaxBlockRows + 1}); err == nil {
+		t.Error("Create accepted oversized blockRows")
+	}
+
+	dir := t.TempDir()
+	s, err := Create(dir, Options{BlockRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := Create(dir, Options{BlockRows: 8}); err == nil {
+		t.Error("Create overwrote an existing table file")
+	}
+	// BuildFrom funnels through Create, so it must refuse the same way.
+	table, _ := database.Generate(16, database.DistUniform, 1)
+	if _, err := BuildFrom(table, dir, Options{BlockRows: 8}); err == nil {
+		t.Error("BuildFrom overwrote an existing table file")
+	}
+
+	// A directory path that collides with a regular file.
+	file := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(filepath.Join(file, "sub"), Options{}); err == nil {
+		t.Error("Create succeeded under a regular file")
+	}
+}
+
+// TestOpenRejectsBeyondCrashModel: damage past the single torn tail slot the
+// crash model allows — two trailing slots unreadable — is a hard reject, and
+// so are a missing or header-truncated file.
+func TestOpenRejectsBeyondCrashModel(t *testing.T) {
+	if _, err := Open(t.TempDir(), Options{}); err == nil {
+		t.Error("Open succeeded on an empty directory")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, TableFile)
+	if err := os.WriteFile(path, []byte("PSCT\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorruptStore) {
+		t.Errorf("truncated header: err = %v, want ErrCorruptStore", err)
+	}
+
+	os.Remove(path)
+	table, _ := database.Generate(32, database.DistUniform, 2)
+	s, err := BuildFrom(table, dir, Options{BlockRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := slotSize(8)
+	raw[len(raw)-1] ^= 1      // tail slot CRC
+	raw[len(raw)-slot-1] ^= 1 // and the slot before it
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorruptStore) {
+		t.Errorf("two torn slots: err = %v, want ErrCorruptStore", err)
+	}
+}
+
+// TestSquareColumns pins the on-the-fly squares against the in-memory
+// oracle, for the whole store and for a windowed view.
+func TestSquareColumns(t *testing.T) {
+	table, _ := database.Generate(100, database.DistUniform, 11)
+	dir := t.TempDir()
+	s, err := BuildFrom(table, dir, Options{BlockRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	sq := s.SquareColumn()
+	oracle := table.SquareColumn()
+	if sq.Len() != oracle.Len() {
+		t.Fatalf("square column length %d, want %d", sq.Len(), oracle.Len())
+	}
+	for i := 0; i < sq.Len(); i++ {
+		if got, want := sq.At(i), oracle.At(i); got != want {
+			t.Fatalf("square[%d] = %d, want %d", i, got, want)
+		}
+	}
+
+	v, err := s.Range(25, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsq := v.SquareColumn()
+	for i := 0; i < vsq.Len(); i++ {
+		if got, want := vsq.At(i), oracle.At(25+i); got != want {
+			t.Fatalf("view square[%d] = %d, want %d", i, got, want)
+		}
+	}
+
+	// Out-of-range column access is a panic (per-session isolation), not a
+	// wrong zero.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("column At out of range did not panic")
+			}
+		}()
+		sq.At(sq.Len())
+	}()
+}
+
+// TestLifecycleRejects covers the writability state machine: read-only
+// stores refuse mutation, closed stores refuse everything, Close is
+// idempotent, and range checks on the read APIs.
+func TestLifecycleRejects(t *testing.T) {
+	dir := t.TempDir()
+	table, _ := database.Generate(20, database.DistUniform, 4)
+	s, err := BuildFrom(table, dir, Options{BlockRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil { // nothing pending: a no-op, not an error
+		t.Fatalf("idle Flush: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.Append([]uint32{1}); err == nil {
+		t.Error("Append succeeded on a closed store")
+	}
+	if err := s.Flush(); err == nil {
+		t.Error("Flush succeeded on a closed store")
+	}
+
+	r, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Append([]uint32{1}); err == nil {
+		t.Error("Append succeeded on a read-only store")
+	}
+	if err := r.Sync(); err == nil {
+		t.Error("Sync succeeded on a read-only store")
+	}
+	if _, err := r.Value(-1); err == nil {
+		t.Error("Value(-1) succeeded")
+	}
+	if _, err := r.Value(r.Len()); err == nil {
+		t.Error("Value past the end succeeded")
+	}
+	if _, err := r.Range(10, 5); err == nil {
+		t.Error("Range(10,5) succeeded")
+	}
+	if err := r.Scan(0, r.Len()+1, func([]uint32) error { return nil }); err == nil {
+		t.Error("Scan past the end succeeded")
+	}
+	if err := r.Scan(0, r.Len(), func([]uint32) error { return errors.New("stop") }); err == nil {
+		t.Error("Scan swallowed the callback error")
+	}
+}
+
+// TestVerifyCatchesTornTailWrittenUnderneath: a tail slot damaged after the
+// store was opened (out-of-band disk trouble) fails Verify even though the
+// open-time frame check passed.
+func TestVerifyCatchesTailDamage(t *testing.T) {
+	dir := t.TempDir()
+	table, _ := database.Generate(20, database.DistUniform, 6) // 2 full + 4-row tail at blockRows 8
+	s, err := BuildFrom(table, dir, Options{BlockRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	r, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Verify(); err != nil {
+		t.Fatalf("clean Verify: %v", err)
+	}
+
+	path := filepath.Join(dir, TableFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize+2*slotSize(8)+slotHeadSize] ^= 0x10 // tail payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(); !errors.Is(err, ErrCorruptStore) {
+		t.Fatalf("damaged tail: Verify err = %v, want ErrCorruptStore", err)
+	}
+}
+
+// TestExtractShardEdges covers the migration-copy guard rails: range
+// validation and the retry-after-crash semantics (a stale partial copy at
+// the destination is discarded, not trusted).
+func TestExtractShardEdges(t *testing.T) {
+	srcDir := t.TempDir()
+	table, _ := database.Generate(100, database.DistUniform, 8)
+	src, err := BuildFrom(table, srcDir, Options{BlockRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	for _, r := range [][2]int{{-1, 10}, {20, 10}, {0, 101}} {
+		if err := ExtractShard(src, t.TempDir(), r[0], r[1], Options{}); err == nil {
+			t.Errorf("ExtractShard accepted range [%d,%d)", r[0], r[1])
+		}
+	}
+
+	// A garbage file from an interrupted earlier attempt must be replaced.
+	dstDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dstDir, TableFile), []byte("half a copy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExtractShard(src, dstDir, 10, 42, Options{}); err != nil {
+		t.Fatalf("ExtractShard over a stale copy: %v", err)
+	}
+	chk, err := Open(dstDir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chk.Close()
+	if chk.Len() != 32 || chk.BaseRow() != 10 {
+		t.Fatalf("shard copy: %d rows base %d, want 32 rows base 10", chk.Len(), chk.BaseRow())
+	}
+	for i := 0; i < chk.Len(); i++ {
+		if got, _ := chk.Value(i); got != table.Value(10+i) {
+			t.Fatalf("shard row %d = %d, want %d", i, got, table.Value(10+i))
+		}
+	}
+}
+
+// TestBlockCacheEviction unit-tests the LRU directly: replacement of an
+// existing key, eviction order past capacity, and the disabled (cap<=0)
+// cache.
+func TestBlockCacheEviction(t *testing.T) {
+	c := newBlockCache(2)
+	c.put(1, []uint32{1})
+	c.put(2, []uint32{2})
+	c.put(1, []uint32{11}) // replace promotes 1 over 2
+	c.put(3, []uint32{3})  // evicts 2, the LRU
+	if _, ok := c.get(2); ok {
+		t.Error("block 2 survived eviction")
+	}
+	if v, ok := c.get(1); !ok || v[0] != 11 {
+		t.Errorf("block 1 = %v, %v; want replaced value", v, ok)
+	}
+	if _, ok := c.get(3); !ok {
+		t.Error("block 3 missing")
+	}
+	if c.len() != 2 {
+		t.Errorf("cache len %d, want 2", c.len())
+	}
+
+	off := newBlockCache(0)
+	off.put(1, []uint32{1})
+	if _, ok := off.get(1); ok || off.len() != 0 {
+		t.Error("disabled cache retained an entry")
+	}
+}

@@ -1,0 +1,86 @@
+package colstore
+
+import (
+	"testing"
+)
+
+// fuzzSlot encodes a slot for the corpus, panicking on bad fixture input.
+func fuzzSlot(index uint64, blockRows int, vals []uint32) []byte {
+	buf, err := EncodeBlock(index, blockRows, vals)
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+// FuzzReadBlock feeds arbitrary slot bytes to ReadBlock: it must never
+// panic, truncation at any byte boundary and foreign magic must reject, and
+// any buffer it accepts must survive a canonical re-encode round trip in
+// which every single-bit flip is caught by the CRC.
+func FuzzReadBlock(f *testing.F) {
+	good := fuzzSlot(3, 8, []uint32{1, 2, 3, 4, 5, 6, 7, 8})
+	partial := fuzzSlot(0, 8, []uint32{42})
+	f.Add([]byte{}, uint16(8), uint64(3))
+	f.Add(good, uint16(8), uint64(3))
+	f.Add(good, uint16(8), uint64(4)) // index mismatch
+	f.Add(good[:len(good)-1], uint16(8), uint64(3))
+	f.Add(good[:slotHeadSize], uint16(8), uint64(3))
+	f.Add(partial, uint16(8), uint64(0))
+	flipped := append([]byte(nil), good...)
+	flipped[slotHeadSize+5] ^= 0x10
+	f.Add(flipped, uint16(8), uint64(3))
+	foreign := append([]byte(nil), good...)
+	copy(foreign, "PSDB") // a bit-store file, not a column block
+	f.Add(foreign, uint16(8), uint64(3))
+	zeroCount := append([]byte(nil), good...)
+	zeroCount[12], zeroCount[13], zeroCount[14], zeroCount[15] = 0, 0, 0, 0
+	f.Add(zeroCount, uint16(8), uint64(3))
+
+	f.Fuzz(func(t *testing.T, data []byte, brRaw uint16, index uint64) {
+		blockRows := int(brRaw%1024) + 1
+		vals, err := ReadBlock(data, blockRows, index)
+		if err != nil {
+			return
+		}
+		if len(vals) == 0 || len(vals) > blockRows {
+			t.Fatalf("accepted %d rows in a %d-row block", len(vals), blockRows)
+		}
+		// Anything accepted must re-encode canonically and read back equal.
+		enc, err := EncodeBlock(index, blockRows, vals)
+		if err != nil {
+			t.Fatalf("re-encode of accepted block: %v", err)
+		}
+		back, err := ReadBlock(enc, blockRows, index)
+		if err != nil {
+			t.Fatalf("re-read of re-encoded block: %v", err)
+		}
+		if len(back) != len(vals) || !equalU32(back, vals) {
+			t.Fatalf("round trip changed rows: %v -> %v", vals, back)
+		}
+		// Every byte of a canonical slot is either under the CRC or is the
+		// CRC, so any single-bit flip must reject.
+		bit := int(index % uint64(len(enc)*8))
+		mut := append([]byte(nil), enc...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if _, err := ReadBlock(mut, blockRows, index); err == nil {
+			t.Fatalf("bit flip at %d accepted", bit)
+		}
+		// Truncation at any boundary short of a full slot must reject.
+		cut := int(index % uint64(len(enc)))
+		if _, err := ReadBlock(enc[:cut], blockRows, index); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	})
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

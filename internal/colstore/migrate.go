@@ -1,0 +1,94 @@
+package colstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"privstats/internal/database"
+)
+
+// BuildFrom materialises an in-memory table as a store at dir — the test
+// and tooling bridge between the two substrates.
+func BuildFrom(t *database.Table, dir string, opts Options) (*Store, error) {
+	s, err := Create(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Append(t.Values()); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := s.Sync(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// ExtractShard copies visible rows [lo, hi) of src into a fresh store at
+// dstDir — the block-by-block data move behind a shard migration. The copy
+// streams (bounded memory at any table size), every source block's CRC is
+// checked by the read path, and the destination is verified by re-opening
+// it and comparing a full re-read against the source's row checksum before
+// the function reports success. The destination's BaseRow is stamped
+// src.BaseRow()+lo, so the shard directory knows its global range.
+//
+// Any existing table file at dstDir is removed first: a migration retry
+// after a crash mid-copy starts over rather than trusting a partial copy.
+func ExtractShard(src *Store, dstDir string, lo, hi int, opts Options) error {
+	if n := src.Len(); lo < 0 || hi < lo || hi > n {
+		return fmt.Errorf("colstore: bad shard range [%d,%d) of %d rows", lo, hi, n)
+	}
+	if err := os.Remove(filepath.Join(dstDir, TableFile)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("colstore: clearing stale shard copy: %w", err)
+	}
+	if opts.BlockRows == 0 {
+		opts.BlockRows = src.BlockRows()
+	}
+	opts.BaseRow = src.BaseRow() + uint64(lo)
+	opts.ReadOnly = false
+
+	wantCRC, err := src.Checksum(lo, hi)
+	if err != nil {
+		return fmt.Errorf("colstore: checksumming source rows [%d,%d): %w", lo, hi, err)
+	}
+	dst, err := Create(dstDir, opts)
+	if err != nil {
+		return err
+	}
+	copyErr := src.Scan(lo, hi, func(vals []uint32) error { return dst.Append(vals) })
+	if copyErr == nil {
+		copyErr = dst.Sync()
+	}
+	if cerr := dst.Close(); copyErr == nil {
+		copyErr = cerr
+	}
+	if copyErr != nil {
+		return fmt.Errorf("colstore: copying rows [%d,%d) to %s: %w", lo, hi, dstDir, copyErr)
+	}
+
+	// Verify the bytes that actually landed on disk, not the write-side
+	// buffers: reopen read-only, frame-check every block, and compare the
+	// logical row stream against the source checksum.
+	chk, err := Open(dstDir, Options{ReadOnly: true, CacheBlocks: -1})
+	if err != nil {
+		return fmt.Errorf("colstore: reopening shard copy %s: %w", dstDir, err)
+	}
+	defer chk.Close()
+	if err := chk.Verify(); err != nil {
+		return fmt.Errorf("colstore: verifying shard copy %s: %w", dstDir, err)
+	}
+	if got := chk.Len(); got != hi-lo {
+		return fmt.Errorf("%w: shard copy %s holds %d rows, want %d", ErrCorruptStore, dstDir, got, hi-lo)
+	}
+	gotCRC, err := chk.Checksum(0, hi-lo)
+	if err != nil {
+		return fmt.Errorf("colstore: checksumming shard copy %s: %w", dstDir, err)
+	}
+	if gotCRC != wantCRC {
+		return fmt.Errorf("%w: shard copy %s row checksum %#x, want %#x", ErrCorruptStore, dstDir, gotCRC, wantCRC)
+	}
+	return nil
+}

@@ -79,6 +79,22 @@ func (c squareColumn) At(i int) uint64 { return c.sq[i] }
 // Column returns the table's value column.
 func (t *Table) Column() Column { return valueColumn{t} }
 
+// Source is any table substrate the protocol server can fold against: the
+// in-memory Table, a disk-backed colstore.Store, or a sub-range view of
+// either. The server only ever needs the row count and the two statistic
+// columns (the ones column is derived from Len), so swapping substrates is
+// invisible to the wire protocol and to clients.
+type Source interface {
+	// Len returns the number of rows.
+	Len() int
+	// Column returns the value column.
+	Column() Column
+	// SquareColumn returns the column of squared values.
+	SquareColumn() Column
+}
+
+var _ Source = (*Table)(nil)
+
 // ProductColumn returns the element-wise product of two equal-length value
 // columns: row i is a[i]·b[i], exact in uint64 since both factors are
 // 32-bit. The private-covariance statistic folds the client's encrypted
@@ -181,34 +197,79 @@ func (d Distribution) String() string {
 	}
 }
 
+// ParseDistribution maps the CLI names to distributions.
+func ParseDistribution(name string) (Distribution, error) {
+	switch name {
+	case "uniform":
+		return DistUniform, nil
+	case "small":
+		return DistSmall, nil
+	case "zipf":
+		return DistZipf, nil
+	case "constant":
+		return DistConstant, nil
+	default:
+		return 0, fmt.Errorf("database: unknown distribution %q (want uniform, small, zipf, or constant)", name)
+	}
+}
+
+// ValueStream yields the exact value sequence of Generate one row at a
+// time — the out-of-core ingest path for tables too large to materialize.
+// Generate is implemented on top of it, so the two can never drift: a
+// streamed 10^8-row store and an in-memory oracle over the same seed hold
+// identical rows.
+type ValueStream struct {
+	dist Distribution
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewValueStream starts the deterministic row sequence for (dist, seed).
+func NewValueStream(dist Distribution, seed int64) (*ValueStream, error) {
+	rng := rand.New(rand.NewSource(seed))
+	s := &ValueStream{dist: dist, rng: rng}
+	switch dist {
+	case DistUniform, DistSmall, DistConstant:
+	case DistZipf:
+		s.zipf = rand.NewZipf(rng, 1.1, 1, 1<<32-1)
+	default:
+		return nil, fmt.Errorf("database: unknown distribution %d", int(dist))
+	}
+	return s, nil
+}
+
+// Next returns the next row.
+func (s *ValueStream) Next() uint32 {
+	switch s.dist {
+	case DistUniform:
+		return s.rng.Uint32()
+	case DistSmall:
+		return uint32(s.rng.Intn(1000))
+	case DistZipf:
+		return uint32(s.zipf.Uint64())
+	default: // DistConstant
+		return 1
+	}
+}
+
+// Fill overwrites vals with the next len(vals) rows.
+func (s *ValueStream) Fill(vals []uint32) {
+	for i := range vals {
+		vals[i] = s.Next()
+	}
+}
+
 // Generate builds a deterministic synthetic table of n rows drawn from the
 // distribution with the given seed.
 func Generate(n int, dist Distribution, seed int64) (*Table, error) {
 	if n < 0 {
 		return nil, errors.New("database: negative table size")
 	}
-	rng := rand.New(rand.NewSource(seed))
-	values := make([]uint32, n)
-	switch dist {
-	case DistUniform:
-		for i := range values {
-			values[i] = rng.Uint32()
-		}
-	case DistSmall:
-		for i := range values {
-			values[i] = uint32(rng.Intn(1000))
-		}
-	case DistZipf:
-		z := rand.NewZipf(rng, 1.1, 1, 1<<32-1)
-		for i := range values {
-			values[i] = uint32(z.Uint64())
-		}
-	case DistConstant:
-		for i := range values {
-			values[i] = 1
-		}
-	default:
-		return nil, fmt.Errorf("database: unknown distribution %d", int(dist))
+	stream, err := NewValueStream(dist, seed)
+	if err != nil {
+		return nil, err
 	}
+	values := make([]uint32, n)
+	stream.Fill(values)
 	return &Table{values: values}, nil
 }

@@ -56,6 +56,12 @@ type ClusterMetrics struct {
 	// CorruptFrames counts frame-level CRC failures observed (locally
 	// detected or reported by the peer as a corrupt-frame error code).
 	CorruptFrames Counter
+	// Reshards counts shard-map advances (completed cut-overs) since start.
+	Reshards Counter
+	// Epoch is the shard-map epoch the aggregator most recently served
+	// under — the live-resharding observability signal (queries in flight
+	// during a cut-over finish under the epoch they pinned).
+	Epoch Gauge
 	// CombineNanos is the aggregator's homomorphic combine + rerandomize
 	// phase.
 	CombineNanos Histogram
@@ -97,6 +103,8 @@ type ClusterSnapshot struct {
 	ShardHedges    int64                      `json:"shard_hedges"`
 	ShardHedgeWins int64                      `json:"shard_hedge_wins"`
 	CorruptFrames  int64                      `json:"corrupt_frames"`
+	Reshards       int64                      `json:"reshards"`
+	Epoch          int64                      `json:"epoch"`
 	CombineNanos   HistogramSnapshot          `json:"combine_nanos"`
 	Backends       map[string]BackendSnapshot `json:"backends"`
 }
@@ -112,6 +120,8 @@ func (m *ClusterMetrics) Snapshot() ClusterSnapshot {
 		ShardHedges:    m.ShardHedges.Value(),
 		ShardHedgeWins: m.ShardHedgeWins.Value(),
 		CorruptFrames:  m.CorruptFrames.Value(),
+		Reshards:       m.Reshards.Value(),
+		Epoch:          m.Epoch.Value(),
 		CombineNanos:   m.CombineNanos.Snapshot(),
 		Backends:       make(map[string]BackendSnapshot),
 	}

@@ -144,10 +144,14 @@ func WritePromCluster(w io.Writer, m *ClusterMetrics) error {
 		{"privstats_cluster_shard_hedges_total", "Hedged shard re-dispatches against stragglers.", m.ShardHedges.Value()},
 		{"privstats_cluster_shard_hedge_wins_total", "Shard hedges that delivered the partial sum first.", m.ShardHedgeWins.Value()},
 		{"privstats_cluster_corrupt_frames_total", "Frame CRC failures observed or reported by peers.", m.CorruptFrames.Value()},
+		{"privstats_cluster_reshards_total", "Completed shard-map cut-overs.", m.Reshards.Value()},
 	} {
 		promHeader(&b, c.name, "counter", c.help)
 		fmt.Fprintf(&b, "%s %d\n", c.name, c.v)
 	}
+
+	promHeader(&b, "privstats_cluster_shardmap_epoch", "gauge", "Shard-map epoch most recently served.")
+	fmt.Fprintf(&b, "privstats_cluster_shardmap_epoch %d\n", m.Epoch.Value())
 
 	promHeader(&b, "privstats_cluster_combine_seconds", "histogram", "Homomorphic combine + rerandomize time per query.")
 	writePromHist(&b, "privstats_cluster_combine_seconds", "", &m.CombineNanos)

@@ -48,6 +48,8 @@ func promFixture() (*ServerMetrics, *ClusterMetrics, *JobMetrics, time.Time) {
 	cm.ShardHedges.Add(2)
 	cm.ShardHedgeWins.Inc()
 	cm.CorruptFrames.Add(5)
+	cm.Reshards.Inc()
+	cm.Epoch.Set(2)
 	cm.CombineNanos.Observe(250_000)
 	b1 := cm.Backend("127.0.0.1:9001")
 	b1.Sessions.Add(6)
@@ -151,6 +153,8 @@ func TestPromRoundTrip(t *testing.T) {
 		"privstats_cluster_shard_hedges_total":                                         float64(cm.ShardHedges.Value()),
 		"privstats_cluster_shard_hedge_wins_total":                                     float64(cm.ShardHedgeWins.Value()),
 		"privstats_cluster_corrupt_frames_total":                                       float64(cm.CorruptFrames.Value()),
+		"privstats_cluster_reshards_total":                                             float64(cm.Reshards.Value()),
+		"privstats_cluster_shardmap_epoch":                                             float64(cm.Epoch.Value()),
 		`privstats_cluster_backend_sessions_total{backend="127.0.0.1:9001"}`:           6,
 		`privstats_cluster_backend_errors_total{backend="127.0.0.1:9001"}`:             2,
 		`privstats_cluster_backend_busy_total{backend="127.0.0.1:9001"}`:               1,

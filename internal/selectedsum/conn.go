@@ -56,6 +56,17 @@ func ServeTimed(conn *wire.Conn, table *database.Table, timings *PhaseTimings) e
 	if table == nil {
 		return errors.New("selectedsum: nil table")
 	}
+	return ServeSource(conn, table, timings)
+}
+
+// ServeSource is ServeTimed over any database.Source — the in-memory Table
+// or a disk-backed column store serve byte-identical sessions. The source's
+// columns are snapshotted once at the hello, so a session folds against a
+// consistent row prefix even while the store ingests concurrently.
+func ServeSource(conn *wire.Conn, src database.Source, timings *PhaseTimings) error {
+	if src == nil {
+		return errors.New("selectedsum: nil source")
+	}
 	if timings == nil {
 		timings = &PhaseTimings{}
 	}
@@ -127,13 +138,14 @@ func ServeTimed(conn *wire.Conn, table *database.Table, timings *PhaseTimings) e
 	// column, in ascending bit order — the paper's variance trick (one
 	// uplink, several response ciphertexts) at the wire layer.
 	sessions := make([]*ServerSession, 0, cols.Count())
+	valueCol := src.Column()
 	for _, col := range []struct {
 		bit  wire.ColumnSet
 		data database.Column
 	}{
-		{wire.ColValue, table.Column()},
-		{wire.ColSquare, table.SquareColumn()},
-		{wire.ColOnes, database.Ones(table.Len())},
+		{wire.ColValue, valueCol},
+		{wire.ColSquare, src.SquareColumn()},
+		{wire.ColOnes, database.Ones(valueCol.Len())},
 	} {
 		if !cols.Has(col.bit) {
 			continue

@@ -127,11 +127,12 @@ func (f HandlerFunc) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTim
 	return f(conn, timings)
 }
 
-// tableHandler is the stock selected-sum session over one table.
-type tableHandler struct{ table *database.Table }
+// sourceHandler is the stock selected-sum session over one table source —
+// in-memory or disk-backed, the session logic is identical.
+type sourceHandler struct{ src database.Source }
 
-func (h tableHandler) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTimings) error {
-	return selectedsum.ServeTimed(conn, h.table, timings)
+func (h sourceHandler) ServeSession(conn *wire.Conn, timings *selectedsum.PhaseTimings) error {
+	return selectedsum.ServeSource(conn, h.src, timings)
 }
 
 // Server runs protocol sessions behind admission control. Create with New
@@ -164,7 +165,18 @@ func New(table *database.Table, cfg Config) (*Server, error) {
 	if table == nil {
 		return nil, errors.New("server: nil table")
 	}
-	return NewHandler(tableHandler{table: table}, cfg)
+	return NewSource(table, cfg)
+}
+
+// NewSource builds a Server answering selected-sum sessions against any
+// table source — an in-memory Table or a disk-backed column store. The
+// source may grow (appends) while the server runs; each session snapshots
+// its visible length at the hello.
+func NewSource(src database.Source, cfg Config) (*Server, error) {
+	if src == nil {
+		return nil, errors.New("server: nil source")
+	}
+	return NewHandler(sourceHandler{src: src}, cfg)
 }
 
 // NewHandler builds a Server that runs each admitted session through h.

@@ -24,6 +24,9 @@ type StatsMuxConfig struct {
 	// stats listener is often bound wider than localhost, and profiles are
 	// an operational decision, not a free default.
 	Pprof bool
+	// Admin maps extra daemon-specific endpoints (e.g. the aggregator's
+	// POST /reshard) onto the mux, pattern → handler.
+	Admin map[string]http.Handler
 }
 
 // StatsMux assembles the observability mux that cmd/sumserver and
@@ -45,6 +48,9 @@ func StatsMux(cfg StatsMuxConfig) *http.ServeMux {
 	if cfg.Jobs != nil {
 		mux.Handle("/jobs", http.StripPrefix("/jobs", cfg.Jobs))
 		mux.Handle("/jobs/", http.StripPrefix("/jobs", cfg.Jobs))
+	}
+	for pattern, h := range cfg.Admin {
+		mux.Handle(pattern, h)
 	}
 	if cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
